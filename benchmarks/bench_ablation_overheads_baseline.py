@@ -1,0 +1,13 @@
+"""Text ablation: the standard 2K/1K overheads (close to Figs 14-15).
+
+Regenerates the figure via the experiment registry ("overheads-baseline") and
+prints the table; the benchmark time is the wall-clock cost of the
+underlying simulation sweep (shared sweeps are memoized, so the first
+figure of a group carries the cost).  Set REPRO_FIDELITY=full for the
+EXPERIMENTS.md-quality run.
+"""
+
+
+def test_ablation_overheads_baseline(run_experiment):
+    figures = run_experiment("overheads-baseline")
+    assert len(figures) == 2

@@ -1,0 +1,17 @@
+"""Model ablation: sequential (RPC-chain) vs parallel cohort execution.
+
+Regenerates the figure via the experiment registry ("seq-vs-par") and
+prints the table; the benchmark time is the wall-clock cost of the
+underlying simulation sweep (shared sweeps are memoized, so the first
+figure of a group carries the cost).  Set REPRO_FIDELITY=full for the
+EXPERIMENTS.md-quality run.
+"""
+
+
+def test_ablation_seq_vs_par(run_experiment):
+    figures = run_experiment("seq-vs-par")
+    (figure,) = figures
+    # At the lightest load, parallel cohorts beat sequential chains.
+    seq = figure.curve("no_dc-seq")[-1]
+    par = figure.curve("no_dc-par")[-1]
+    assert par < seq

@@ -1,0 +1,13 @@
+"""Text ablation: InstPerStartup=20K, message cost zero (close to Figs 16-17).
+
+Regenerates the figure via the experiment registry ("startup20k") and
+prints the table; the benchmark time is the wall-clock cost of the
+underlying simulation sweep (shared sweeps are memoized, so the first
+figure of a group carries the cost).  Set REPRO_FIDELITY=full for the
+EXPERIMENTS.md-quality run.
+"""
+
+
+def test_ablation_startup20k(run_experiment):
+    figures = run_experiment("startup20k")
+    assert len(figures) == 2

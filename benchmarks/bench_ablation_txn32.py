@@ -1,0 +1,14 @@
+"""Footnote-9 ablation: 32-read transactions, same partitioning trends.
+
+Regenerates the figure via the experiment registry ("txn32") and
+prints the table; the benchmark time is the wall-clock cost of the
+underlying simulation sweep (shared sweeps are memoized, so the first
+figure of a group carries the cost).  Set REPRO_FIDELITY=full for the
+EXPERIMENTS.md-quality run.
+"""
+
+
+def test_ablation_txn32(run_experiment):
+    figures = run_experiment("txn32")
+    (figure,) = figures
+    assert figure.curve("no_dc")[-1] > 2.0

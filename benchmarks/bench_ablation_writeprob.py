@@ -1,0 +1,16 @@
+"""WriteProb ablation: the 1/8 (text) vs 1/4 (Table 4) contradiction.
+
+Regenerates the figure via the experiment registry ("writeprob") and
+prints the table; the benchmark time is the wall-clock cost of the
+underlying simulation sweep (shared sweeps are memoized, so the first
+figure of a group carries the cost).  Set REPRO_FIDELITY=full for the
+EXPERIMENTS.md-quality run.
+"""
+
+
+def test_ablation_writeprob(run_experiment):
+    figures = run_experiment("writeprob")
+    eighth, quarter = figures
+    # More writes, more aborts: the 1/4 setting aborts more for every
+    # algorithm at the heaviest load.
+    assert quarter.curve("opt")[0] > eighth.curve("opt")[0]

@@ -1,0 +1,18 @@
+"""Extension: replicated data (read-one/write-all) x message cost —
+testing footnote 13's claim about OPT vs 2PL with replicated data and
+expensive messages.
+
+Regenerated via the experiment registry ("replication"); set
+REPRO_FIDELITY=full for the EXPERIMENTS.md-quality run.
+"""
+
+
+def test_extension_replication(run_experiment, fidelity):
+    cheap_messages, costly_messages = run_experiment("replication")
+    if fidelity.name == "smoke":
+        return
+    # Replication is never free: every algorithm loses throughput
+    # going from 1 to 4 copies at either message cost.
+    for figure in (cheap_messages, costly_messages):
+        for name, curve in figure.curves.items():
+            assert curve[-1] < curve[0], (name, curve)

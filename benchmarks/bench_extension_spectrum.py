@@ -1,0 +1,20 @@
+"""Extension: the full blocking/restart spectrum (7 algorithms).
+
+Beyond the paper: adds wait-die and immediate-restart to the paper's
+five, sweeping them together on the standard 8-node 8-way machine.
+Regenerated via the experiment registry ("spectrum"); set
+REPRO_FIDELITY=full for the EXPERIMENTS.md-quality run.
+"""
+
+
+def test_extension_spectrum(run_experiment):
+    throughput, abort_ratio = run_experiment("spectrum")
+    heavy_tput = {
+        name: curve[0] for name, curve in throughput.curves.items()
+    }
+    # The pure-abort extreme pays the highest abort bill under load.
+    heavy_aborts = {
+        name: curve[0] for name, curve in abort_ratio.curves.items()
+    }
+    assert heavy_aborts["ir"] >= heavy_aborts["2pl"]
+    assert heavy_tput["no_dc"] >= heavy_tput["ir"]

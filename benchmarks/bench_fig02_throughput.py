@@ -1,0 +1,23 @@
+"""Figure 2: throughput vs think time, 1-node and 8-node systems.
+
+Regenerates the figure via the experiment registry ("fig2") and
+prints the table; the benchmark time is the wall-clock cost of the
+underlying simulation sweep (shared sweeps are memoized, so the first
+figure of a group carries the cost).  Set REPRO_FIDELITY=full for the
+EXPERIMENTS.md-quality run.
+"""
+
+
+def test_fig02_throughput(run_experiment):
+    figures = run_experiment("fig2")
+    (figure_1node, figure_8node) = figures
+    # Sanity of shape: every algorithm produces positive throughput at
+    # the heaviest load, and the 8-node machine out-produces the
+    # 1-node machine there.
+    for figure in figures:
+        for name, curve in figure.curves.items():
+            assert curve[0] is not None and curve[0] > 0, name
+    assert (
+        figure_8node.value_at("no_dc", 0.0)
+        > figure_1node.value_at("no_dc", 0.0)
+    )

@@ -1,0 +1,17 @@
+"""Figure 3: response time vs think time, 1-node and 8-node systems.
+
+Regenerates the figure via the experiment registry ("fig3") and
+prints the table; the benchmark time is the wall-clock cost of the
+underlying simulation sweep (shared sweeps are memoized, so the first
+figure of a group carries the cost).  Set REPRO_FIDELITY=full for the
+EXPERIMENTS.md-quality run.
+"""
+
+
+def test_fig03_response_time(run_experiment):
+    figures = run_experiment("fig3")
+    (figure_1node, figure_8node) = figures
+    # Response times fall as load lightens, for every algorithm.
+    for figure in figures:
+        for name, curve in figure.curves.items():
+            assert curve[0] > curve[-1], name

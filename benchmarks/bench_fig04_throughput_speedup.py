@@ -1,0 +1,16 @@
+"""Figure 4: 8-node/1-node throughput speedup vs think time.
+
+Regenerates the figure via the experiment registry ("fig4") and
+prints the table; the benchmark time is the wall-clock cost of the
+underlying simulation sweep (shared sweeps are memoized, so the first
+figure of a group carries the cost).  Set REPRO_FIDELITY=full for the
+EXPERIMENTS.md-quality run.
+"""
+
+
+def test_fig04_throughput_speedup(run_experiment):
+    figures = run_experiment("fig4")
+    (figure,) = figures
+    # Near-linear speedup under heavy load, approaching 1 when idle.
+    assert figure.curve("no_dc")[0] > 5.0
+    assert figure.curve("no_dc")[-1] < 2.0

@@ -1,0 +1,17 @@
+"""Figure 5: 8-node/1-node response-time speedup vs think time.
+
+Regenerates the figure via the experiment registry ("fig5") and
+prints the table; the benchmark time is the wall-clock cost of the
+underlying simulation sweep (shared sweeps are memoized, so the first
+figure of a group carries the cost).  Set REPRO_FIDELITY=full for the
+EXPERIMENTS.md-quality run.
+"""
+
+
+def test_fig05_response_speedup(run_experiment):
+    figures = run_experiment("fig5")
+    (figure,) = figures
+    curve = figure.curve("no_dc")
+    # The hallmark hump: mid-load speedups far exceed the machine-size
+    # ratio of 8 (the paper reports over 100 for NO_DC).
+    assert max(v for v in curve if v is not None) > 8.0

@@ -1,0 +1,17 @@
+"""Figure 6: disk utilizations underlying the scaling speedups.
+
+Regenerates the figure via the experiment registry ("fig6") and
+prints the table; the benchmark time is the wall-clock cost of the
+underlying simulation sweep (shared sweeps are memoized, so the first
+figure of a group carries the cost).  Set REPRO_FIDELITY=full for the
+EXPERIMENTS.md-quality run.
+"""
+
+
+def test_fig06_disk_utilization(run_experiment):
+    figures = run_experiment("fig6")
+    for figure in figures:
+        for curve in figure.curves.values():
+            assert all(0.0 <= v <= 1.0 for v in curve)
+    # Heaviest load saturates the disks on the small machine.
+    assert figures[0].curve("no_dc")[0] > 0.9

@@ -1,0 +1,17 @@
+"""Figure 7: CPU utilizations underlying the scaling speedups.
+
+Regenerates the figure via the experiment registry ("fig7") and
+prints the table; the benchmark time is the wall-clock cost of the
+underlying simulation sweep (shared sweeps are memoized, so the first
+figure of a group carries the cost).  Set REPRO_FIDELITY=full for the
+EXPERIMENTS.md-quality run.
+"""
+
+
+def test_fig07_cpu_utilization(run_experiment):
+    figures = run_experiment("fig7")
+    for figure in figures:
+        for curve in figure.curves.values():
+            assert all(0.0 <= v <= 1.0 for v in curve)
+    # Slightly I/O bound: CPUs run hot but below saturation at think 0.
+    assert 0.5 < figures[1].curve("no_dc")[0] <= 1.0

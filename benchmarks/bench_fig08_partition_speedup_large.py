@@ -1,0 +1,15 @@
+"""Figure 8: 8-way/1-way response-time speedup, larger database.
+
+Regenerates the figure via the experiment registry ("fig8") and
+prints the table; the benchmark time is the wall-clock cost of the
+underlying simulation sweep (shared sweeps are memoized, so the first
+figure of a group carries the cost).  Set REPRO_FIDELITY=full for the
+EXPERIMENTS.md-quality run.
+"""
+
+
+def test_fig08_partition_speedup_large(run_experiment):
+    figures = run_experiment("fig8")
+    (figure,) = figures
+    # Roughly fivefold parallelism gain at the lightest loads.
+    assert figure.curve("no_dc")[-1] > 3.0

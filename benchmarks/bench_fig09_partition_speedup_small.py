@@ -1,0 +1,16 @@
+"""Figure 9: 8-way/1-way response-time speedup, smaller database.
+
+Regenerates the figure via the experiment registry ("fig9") and
+prints the table; the benchmark time is the wall-clock cost of the
+underlying simulation sweep (shared sweeps are memoized, so the first
+figure of a group carries the cost).  Set REPRO_FIDELITY=full for the
+EXPERIMENTS.md-quality run.
+"""
+
+
+def test_fig09_partition_speedup_small(run_experiment):
+    figures = run_experiment("fig9")
+    (figure,) = figures
+    assert figure.curve("no_dc")[-1] > 3.0
+    # Little to gain at think 0 where the machine is saturated.
+    assert figure.curve("no_dc")[0] < 2.0

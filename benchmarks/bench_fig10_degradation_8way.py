@@ -1,0 +1,17 @@
+"""Figure 10: % response-time degradation vs NO_DC, 8-way.
+
+Regenerates the figure via the experiment registry ("fig10") and
+prints the table; the benchmark time is the wall-clock cost of the
+underlying simulation sweep (shared sweeps are memoized, so the first
+figure of a group carries the cost).  Set REPRO_FIDELITY=full for the
+EXPERIMENTS.md-quality run.
+"""
+
+
+def test_fig10_degradation_8way(run_experiment):
+    figures = run_experiment("fig10")
+    (figure,) = figures
+    assert "no_dc" not in figure.curves
+    # OPT suffers the largest degradation under heavy load.
+    heavy = {n: c[0] for n, c in figure.curves.items()}
+    assert heavy["opt"] >= heavy["2pl"]

@@ -1,0 +1,15 @@
+"""Figure 11: % response-time degradation vs NO_DC, 1-way.
+
+Regenerates the figure via the experiment registry ("fig11") and
+prints the table; the benchmark time is the wall-clock cost of the
+underlying simulation sweep (shared sweeps are memoized, so the first
+figure of a group carries the cost).  Set REPRO_FIDELITY=full for the
+EXPERIMENTS.md-quality run.
+"""
+
+
+def test_fig11_degradation_1way(run_experiment):
+    figures = run_experiment("fig11")
+    (figure,) = figures
+    heavy = {n: c[0] for n, c in figure.curves.items()}
+    assert heavy["opt"] >= heavy["2pl"]

@@ -1,0 +1,17 @@
+"""Figure 12: abort ratios, 8-way partitioning, smaller database.
+
+Regenerates the figure via the experiment registry ("fig12") and
+prints the table; the benchmark time is the wall-clock cost of the
+underlying simulation sweep (shared sweeps are memoized, so the first
+figure of a group carries the cost).  Set REPRO_FIDELITY=full for the
+EXPERIMENTS.md-quality run.
+"""
+
+
+def test_fig12_abort_ratio_8way(run_experiment):
+    figures = run_experiment("fig12")
+    (figure,) = figures
+    heavy = {n: c[0] for n, c in figure.curves.items()}
+    # The paper's ordering: OPT > WW > BTO > 2PL.
+    assert heavy["opt"] > heavy["2pl"]
+    assert heavy["ww"] > heavy["bto"]

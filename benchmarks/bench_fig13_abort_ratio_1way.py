@@ -1,0 +1,15 @@
+"""Figure 13: abort ratios, 1-way placement, smaller database.
+
+Regenerates the figure via the experiment registry ("fig13") and
+prints the table; the benchmark time is the wall-clock cost of the
+underlying simulation sweep (shared sweeps are memoized, so the first
+figure of a group carries the cost).  Set REPRO_FIDELITY=full for the
+EXPERIMENTS.md-quality run.
+"""
+
+
+def test_fig13_abort_ratio_1way(run_experiment):
+    figures = run_experiment("fig13")
+    (figure,) = figures
+    heavy = {n: c[0] for n, c in figure.curves.items()}
+    assert heavy["opt"] > heavy["2pl"]

@@ -1,0 +1,16 @@
+"""Figure 14: speedup vs degree of partitioning, no overheads, think 0.
+
+Regenerates the figure via the experiment registry ("fig14") and
+prints the table; the benchmark time is the wall-clock cost of the
+underlying simulation sweep (shared sweeps are memoized, so the first
+figure of a group carries the cost).  Set REPRO_FIDELITY=full for the
+EXPERIMENTS.md-quality run.
+"""
+
+
+def test_fig14_overhead_free_tt0(run_experiment):
+    figures = run_experiment("fig14")
+    (figure,) = figures
+    # NO_DC gains almost nothing from partitioning at think 0.
+    no_dc = [v for v in figure.curve("no_dc") if v is not None]
+    assert max(no_dc) < 1.5

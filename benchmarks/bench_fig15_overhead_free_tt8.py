@@ -1,0 +1,15 @@
+"""Figure 15: speedup vs degree of partitioning, no overheads, think 8s.
+
+Regenerates the figure via the experiment registry ("fig15") and
+prints the table; the benchmark time is the wall-clock cost of the
+underlying simulation sweep (shared sweeps are memoized, so the first
+figure of a group carries the cost).  Set REPRO_FIDELITY=full for the
+EXPERIMENTS.md-quality run.
+"""
+
+
+def test_fig15_overhead_free_tt8(run_experiment):
+    figures = run_experiment("fig15")
+    (figure,) = figures
+    # With the load lightened, partitioning starts paying off.
+    assert figure.curve("no_dc")[-1] > 1.1

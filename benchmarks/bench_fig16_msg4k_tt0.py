@@ -1,0 +1,16 @@
+"""Figure 16: speedup vs degree with 4K-instruction messages, think 0.
+
+Regenerates the figure via the experiment registry ("fig16") and
+prints the table; the benchmark time is the wall-clock cost of the
+underlying simulation sweep (shared sweeps are memoized, so the first
+figure of a group carries the cost).  Set REPRO_FIDELITY=full for the
+EXPERIMENTS.md-quality run.
+"""
+
+
+def test_fig16_msg4k_tt0(run_experiment):
+    figures = run_experiment("fig16")
+    (figure,) = figures
+    # Expensive messages flatten the NO_DC curve relative to Fig 14.
+    no_dc = [v for v in figure.curve("no_dc") if v is not None]
+    assert max(no_dc) < 1.6

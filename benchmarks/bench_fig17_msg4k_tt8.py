@@ -1,0 +1,17 @@
+"""Figure 17: speedup vs degree with 4K-instruction messages, think 8s.
+
+Regenerates the figure via the experiment registry ("fig17") and
+prints the table; the benchmark time is the wall-clock cost of the
+underlying simulation sweep (shared sweeps are memoized, so the first
+figure of a group carries the cost).  Set REPRO_FIDELITY=full for the
+EXPERIMENTS.md-quality run.
+"""
+
+
+def test_fig17_msg4k_tt8(run_experiment):
+    figures = run_experiment("fig17")
+    (figure,) = figures
+    # The paper's crossover: with 4K messages, 8-way no longer beats
+    # 4-way for the abort-heavy algorithms (OPT in particular).
+    opt = figure.curve("opt")
+    assert opt[-1] <= opt[-2] * 1.15

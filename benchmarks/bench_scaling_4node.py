@@ -1,0 +1,15 @@
+"""The 4-node scaling variant discussed in the text of paper section 4.2.
+
+Regenerates the figure via the experiment registry ("scaling4") and
+prints the table; the benchmark time is the wall-clock cost of the
+underlying simulation sweep (shared sweeps are memoized, so the first
+figure of a group carries the cost).  Set REPRO_FIDELITY=full for the
+EXPERIMENTS.md-quality run.
+"""
+
+
+def test_scaling_4node(run_experiment):
+    figures = run_experiment("scaling4")
+    throughput_figure, response_figure = figures
+    # Throughput speedup approaches 4 under heavy load.
+    assert throughput_figure.curve("no_dc")[0] > 2.5

@@ -1,0 +1,14 @@
+"""Sensitivity: the Snoop's DetectionInterval for 2PL (footnote 2 notes
+the analogous knob was "critical and sensitive" in [Jenq89]).
+
+Regenerated via the experiment registry ("detection-interval"); set
+REPRO_FIDELITY=full for the EXPERIMENTS.md-quality run.
+"""
+
+
+def test_sensitivity_detection_interval(run_experiment):
+    response, aborts = run_experiment("detection-interval")
+    curve = response.curve("2pl")
+    # Slower detection leaves global deadlocks blocking longer: the
+    # 10 s point must not beat the 0.1 s point.
+    assert curve[-1] >= curve[0] * 0.9

@@ -1,0 +1,17 @@
+"""Sensitivity: host CPU speed — checking the paper's §4.1 claim that a
+10 MIPS host "won't limit system performance".
+
+Regenerated via the experiment registry ("host-speed"); set
+REPRO_FIDELITY=full for the EXPERIMENTS.md-quality run.
+"""
+
+
+def test_sensitivity_host_speed(run_experiment):
+    throughput, host_util = run_experiment("host-speed")
+    no_dc = throughput.curve("no_dc")
+    # At 10 MIPS the host must not be the bottleneck: throughput within
+    # a whisker of the 20 MIPS point, and host utilization comfortably
+    # below saturation.
+    assert no_dc[-2] > 0.9 * no_dc[-1]
+    ten_mips_util = host_util.value_at("no_dc", 10.0)
+    assert ten_mips_util < 0.5

@@ -1,0 +1,19 @@
+"""Sensitivity: multiprogramming level — the classic data-contention
+thrashing hill, approached by adding terminals instead of shrinking
+think times.
+
+Regenerated via the experiment registry ("terminals"); set
+REPRO_FIDELITY=full for the EXPERIMENTS.md-quality run.
+"""
+
+
+def test_sensitivity_terminals(run_experiment, fidelity):
+    (series,) = run_experiment("terminals")
+    if fidelity.name == "smoke":
+        return  # smoke windows truncate multi-minute response times
+    no_dc = series.curve("no_dc")
+    opt = series.curve("opt")
+    # NO_DC saturates: its last point stays near its peak.
+    assert no_dc[-1] > 0.8 * max(no_dc)
+    # OPT thrashes: well below its own peak at the highest MPL.
+    assert opt[-1] < 0.9 * max(opt)

@@ -1,0 +1,45 @@
+"""Shared benchmark harness.
+
+Every benchmark regenerates one of the paper's figures and prints the
+table that corresponds to it, so ``pytest benchmarks/ --benchmark-only``
+doubles as the full reproduction run.  Underlying simulations are
+memoized per process (the figures that share a sweep pay for it once —
+the first figure of each group carries the cost in its timing).
+
+``REPRO_FIDELITY`` selects the run length: ``bench`` (default here),
+``smoke``, ``quick``, or ``full`` (the EXPERIMENTS.md setting).
+"""
+
+import pytest
+
+from repro.analysis.series import format_table
+from repro.experiments.fidelity import Fidelity
+from repro.experiments.registry import get_experiment
+
+
+@pytest.fixture(scope="session")
+def fidelity():
+    return Fidelity.from_env(default="bench")
+
+
+@pytest.fixture
+def run_experiment(fidelity, benchmark, capsys):
+    """Run one registered experiment under pytest-benchmark.
+
+    Single round/iteration: a figure regeneration is minutes of
+    simulation, not a microbenchmark.
+    """
+
+    def run(experiment_id):
+        experiment = get_experiment(experiment_id)
+        figures = benchmark.pedantic(
+            experiment.run, args=(fidelity,), rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            for figure in figures:
+                print(format_table(figure))
+                print()
+        return figures
+
+    return run

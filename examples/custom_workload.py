@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Using the library beyond the paper: a custom mixed workload.
+
+Demonstrates the public configuration surface:
+
+* two transaction classes — a short, update-heavy "debit-credit" class
+  on 75% of the terminals and a long, read-mostly "report" class on the
+  rest;
+* the report class runs its cohorts sequentially (Non-Stop SQL style
+  remote procedure calls) while debit-credits run in parallel;
+* a 4-node machine with 4-way declustering and slower disks.
+
+Run with::
+
+    python examples/custom_workload.py
+"""
+
+from repro import run_simulation
+from repro.core.config import (
+    DatabaseConfig,
+    ExecutionPattern,
+    PlacementKind,
+    ResourceConfig,
+    SimulationConfig,
+    TransactionClassConfig,
+    WorkloadConfig,
+)
+
+DEBIT_CREDIT = TransactionClassConfig(
+    name="debit-credit",
+    terminal_fraction=0.75,
+    execution_pattern=ExecutionPattern.PARALLEL,
+    file_count=2,           # touches 2 of the relation's partitions
+    pages_per_file=2,
+    write_probability=0.9,  # nearly every page updated
+    inst_per_page=4_000.0,
+)
+
+REPORT = TransactionClassConfig(
+    name="report",
+    terminal_fraction=0.25,
+    execution_pattern=ExecutionPattern.SEQUENTIAL,
+    file_count=8,           # full-relation sweep
+    pages_per_file=16,
+    write_probability=0.0,  # read-only
+    inst_per_page=12_000.0,
+)
+
+
+def make_config(algorithm: str) -> SimulationConfig:
+    return SimulationConfig(
+        num_proc_nodes=4,
+        resources=ResourceConfig(
+            node_cpu_mips=2.0,
+            disks_per_node=2,
+            min_disk_time=0.015,
+            max_disk_time=0.045,  # slower disks than the paper's
+        ),
+        database=DatabaseConfig(
+            num_relations=4,
+            partitions_per_relation=8,
+            pages_per_partition=60,  # hot: reports overlap writers
+            placement=PlacementKind.DECLUSTERED,
+            placement_degree=4,
+        ),
+        workload=WorkloadConfig(
+            num_terminals=96,
+            think_time=1.0,
+            classes=(DEBIT_CREDIT, REPORT),
+        ),
+        cc_algorithm=algorithm,
+        duration=60.0,
+        warmup=20.0,
+    )
+
+
+def main() -> None:
+    print("Custom mixed workload: 75% debit-credit, 25% reports\n")
+    for algorithm in ("2pl", "bto", "opt"):
+        result = run_simulation(make_config(algorithm))
+        print(
+            f"{algorithm:5s} tput={result.throughput:6.2f}/s  "
+            f"rt={result.mean_response_time:6.2f}s  "
+            f"abort_ratio={result.abort_ratio:5.2f}  "
+            f"cpu={result.avg_node_cpu_utilization:4.2f}  "
+            f"disk={result.avg_disk_utilization:4.2f}"
+        )
+    print(
+        "\nRead-only report transactions make optimistic execution "
+        "riskier: a long\nreader is easily invalidated by the "
+        "debit-credit stream at certification\ntime, while locking "
+        "just delays the writers briefly."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Partitioning / parallelism study at fixed machine size (§4.3).
+
+Eight processing nodes throughout; each relation is either colocated at
+one node (1-way: single sequential cohort per transaction) or
+declustered over 2/4/8 nodes (parallel cohorts).  Shows how the degree
+of intra-transaction parallelism changes response time, blocking, and
+abort behaviour per algorithm — the experiment behind Figures 8-13.
+
+Run with::
+
+    python examples/partitioning_study.py [think_time_seconds]
+"""
+
+import sys
+
+from repro import paper_default_config, run_simulation
+from repro.core.config import PlacementKind
+
+
+def placed_config(algorithm, degree, think_time):
+    placement = (
+        PlacementKind.COLOCATED if degree == 1
+        else PlacementKind.DECLUSTERED
+    )
+    return paper_default_config(
+        algorithm,
+        think_time=think_time,
+        placement=placement,
+        placement_degree=degree,
+    ).with_(
+        duration=90.0,
+        warmup=30.0,
+        target_commits=400,
+        max_duration=900.0,
+    )
+
+
+def main() -> None:
+    think_time = float(sys.argv[1]) if len(sys.argv) > 1 else 24.0
+    print(
+        f"Partitioning study: 8 nodes, think time {think_time:g}s, "
+        "small database\n"
+    )
+    for algorithm in ("2pl", "opt", "no_dc"):
+        print(f"--- {algorithm} ---")
+        base_rt = None
+        for degree in (1, 2, 4, 8):
+            result = run_simulation(
+                placed_config(algorithm, degree, think_time)
+            )
+            if base_rt is None:
+                base_rt = result.mean_response_time
+            speedup = base_rt / result.mean_response_time
+            print(
+                f"  {degree}-way: rt={result.mean_response_time:7.2f}s"
+                f" (x{speedup:5.2f})"
+                f"  abort_ratio={result.abort_ratio:5.2f}"
+                f"  blocking={result.mean_blocking_time:6.3f}s"
+            )
+        print()
+    print(
+        "2PL turns parallelism into shorter lock hold times (blocking "
+        "shrinks with\ndegree), while OPT pays for parallelism with "
+        "expensive distributed aborts —\nthe contrast at the heart of "
+        "the paper's §4.3."
+    )
+
+
+if __name__ == "__main__":
+    main()

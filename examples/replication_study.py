@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Replication study (extension; the paper's footnote 13).
+
+The paper's §3.1 model supports replicated files but its experiments
+never exercise them.  This example does: each partition is stored at
+1, 2, or 4 nodes; transactions read one copy and write all copies
+(read-one/write-all).  Footnote 13 recalls that in the companion study
+the optimistic algorithm beat 2PL "when several copies of each data
+item needed updating and messages were expensive" — here you can watch
+how much of that survives parallel-cohort execution.
+
+Run with::
+
+    python examples/replication_study.py [inst_per_msg]
+"""
+
+import sys
+
+from repro import paper_default_config, run_simulation
+
+
+def replicated(algorithm, copies, inst_per_msg):
+    config = paper_default_config(
+        algorithm, think_time=8.0
+    ).with_database(copies=copies).with_resources(
+        inst_per_msg=inst_per_msg
+    )
+    return config.with_(
+        duration=60.0,
+        warmup=20.0,
+        target_commits=300,
+        max_duration=600.0,
+    )
+
+
+def main() -> None:
+    inst_per_msg = (
+        float(sys.argv[1]) if len(sys.argv) > 1 else 4_000.0
+    )
+    print(
+        f"Replication study: 8 nodes, think 8s, "
+        f"InstPerMsg={inst_per_msg:g}\n"
+    )
+    print(f"{'algorithm':10s} {'copies':>7s} {'tput/s':>8s} "
+          f"{'resp(s)':>8s} {'aborts/commit':>14s}")
+    for algorithm in ("2pl", "opt"):
+        for copies in (1, 2, 4):
+            result = run_simulation(
+                replicated(algorithm, copies, inst_per_msg)
+            )
+            print(
+                f"{algorithm:10s} {copies:7d} "
+                f"{result.throughput:8.2f} "
+                f"{result.mean_response_time:8.2f} "
+                f"{result.abort_ratio:14.3f}"
+            )
+        print()
+    print(
+        "Write-all multiplies every update across copy sites: more "
+        "cohort work, more\nmessages, and (for locking) a wider "
+        "write-lock footprint.  With parallel\ncohorts the locks stay "
+        "local to each copy site, so 2PL holds up better here\nthan "
+        "in the non-parallel setting footnote 13 describes."
+    )
+
+
+if __name__ == "__main__":
+    main()

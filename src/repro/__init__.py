@@ -1,0 +1,69 @@
+"""repro — reproduction of Carey & Livny (SIGMOD 1989).
+
+"Parallelism and Concurrency Control Performance in Distributed
+Database Machines": a discrete-event simulation of a shared-nothing
+database machine comparing four distributed concurrency control
+algorithms — two-phase locking (2PL), wound-wait (WW), basic timestamp
+ordering (BTO), and distributed optimistic certification (OPT) — plus a
+no-data-contention baseline (NO_DC), across machine sizes, degrees of
+data partitioning, system loads, and messaging/process-startup
+overheads.
+
+Quick start::
+
+    from repro import paper_default_config, run_simulation
+
+    result = run_simulation(paper_default_config("2pl", think_time=8.0))
+    print(result)
+
+Subpackages
+-----------
+``repro.sim``
+    The discrete-event kernel, resource disciplines, RNG streams, and
+    statistics collectors.
+``repro.core``
+    The database machine model: database/placement, workload source,
+    transaction manager with two-phase commit, resource and network
+    managers, metrics.
+``repro.cc``
+    The concurrency control managers.
+``repro.experiments``
+    Per-figure experiment definitions and the sweep runner regenerating
+    every table and figure in the paper's evaluation.
+``repro.analysis``
+    Speedup/degradation math and table formatting.
+"""
+
+from repro.core.audit import Auditor
+from repro.core.config import (
+    DatabaseConfig,
+    ExecutionPattern,
+    PlacementKind,
+    ResourceConfig,
+    SimulationConfig,
+    TransactionClassConfig,
+    WorkloadConfig,
+    paper_default_config,
+)
+from repro.core.metrics import SimulationResult
+from repro.core.simulation import Simulation, run_simulation
+from repro.core.tracing import Tracer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Auditor",
+    "DatabaseConfig",
+    "ExecutionPattern",
+    "PlacementKind",
+    "ResourceConfig",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationResult",
+    "Tracer",
+    "TransactionClassConfig",
+    "WorkloadConfig",
+    "paper_default_config",
+    "run_simulation",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Analysis utilities: figure series, speedups, degradations, tables."""
+
+from repro.analysis.series import FigureSeries, format_table
+from repro.analysis.speedup import (
+    percent_degradation,
+    ratio_curves,
+    ratio_series,
+)
+
+__all__ = [
+    "FigureSeries",
+    "format_table",
+    "percent_degradation",
+    "ratio_curves",
+    "ratio_series",
+]

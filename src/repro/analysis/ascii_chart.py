@@ -1,0 +1,96 @@
+"""ASCII line charts for figure series.
+
+The offline environment has no plotting stack, so the CLI's ``--chart``
+flag renders each :class:`~repro.analysis.series.FigureSeries` as a
+terminal chart: one letter per curve, a y-axis with min/max labels, and
+the shared x-axis along the bottom.  Points are plotted at their scaled
+positions; when two curves land on the same cell the later curve's
+marker wins and a ``*`` marks exact collisions of three or more.
+
+This is deliberately simple — the tables remain the ground truth; the
+charts exist to make trends (thrashing humps, crossovers) visible at a
+glance in logs and CI output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.series import FigureSeries
+
+__all__ = ["render_chart"]
+
+#: Markers assigned to curves in insertion order.
+_MARKERS = "ox+#@%&$"
+
+
+def _scale(
+    value: float, low: float, high: float, cells: int
+) -> int:
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(cells - 1, max(0, round(position * (cells - 1))))
+
+
+def render_chart(
+    series: FigureSeries,
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Render the series as an ASCII chart (a multi-line string)."""
+    finite: List[float] = [
+        value
+        for curve in series.curves.values()
+        for value in curve
+        if value is not None
+    ]
+    if not finite or len(series.x_values) < 2:
+        return f"{series.title}\n(no data to chart)"
+    y_low, y_high = min(finite), max(finite)
+    if y_low == y_high:
+        y_low -= 0.5
+        y_high += 0.5
+    x_low, x_high = series.x_values[0], series.x_values[-1]
+    grid = [[" "] * width for _ in range(height)]
+    legend: Dict[str, str] = {}
+    for index, (name, curve) in enumerate(series.curves.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend[name] = marker
+        for x, value in zip(series.x_values, curve):
+            if value is None:
+                continue
+            column = _scale(x, x_low, x_high, width)
+            row = height - 1 - _scale(value, y_low, y_high, height)
+            cell = grid[row][column]
+            if cell == " ":
+                grid[row][column] = marker
+            elif cell != marker:
+                grid[row][column] = "*"
+    lines = [series.title]
+    top_label = f"{y_high:.4g}"
+    bottom_label = f"{y_low:.4g}"
+    label_width = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    axis = "-" * width
+    lines.append(f"{' ' * label_width} +{axis}")
+    x_left = f"{x_low:.4g}"
+    x_right = f"{x_high:.4g}"
+    padding = width - len(x_left) - len(x_right)
+    lines.append(
+        f"{' ' * label_width}  {x_left}{' ' * max(1, padding)}"
+        f"{x_right}  ({series.x_label})"
+    )
+    legend_text = "  ".join(
+        f"{marker}={name}" for name, marker in legend.items()
+    )
+    lines.append(f"{' ' * label_width}  {legend_text}")
+    lines.append(f"{' ' * label_width}  y: {series.y_label}")
+    return "\n".join(lines)

@@ -1,0 +1,197 @@
+"""Analytic bounds and estimates for the simulated machine.
+
+Back-of-the-envelope models the paper's parameter choices were designed
+around (§4.1): the disks are the bottleneck ("the processing nodes
+operate in an I/O-bound region"), the CPUs run at 80-90% when the disks
+saturate, and the light-load response-time speedup of d-way parallelism
+is limited by the *longest* cohort (footnote 12's 64/12 ≈ 5.33
+argument).
+
+These closed forms serve two purposes:
+
+* capacity planning for users configuring their own machines, and
+* cross-validation — the integration tests assert the simulator lands
+  within tolerance of these bounds, catching resource-accounting bugs.
+
+All functions take a :class:`~repro.core.config.SimulationConfig`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.config import (
+    SimulationConfig,
+    TransactionClassConfig,
+)
+
+__all__ = [
+    "cpu_bound_throughput",
+    "disk_bound_throughput",
+    "expected_longest_cohort_pages",
+    "expected_reads_per_transaction",
+    "expected_writes_per_transaction",
+    "light_load_response_time",
+    "terminal_bound_throughput",
+    "throughput_upper_bound",
+]
+
+
+def _mixed(values: Sequence[float],
+           classes: Sequence[TransactionClassConfig]) -> float:
+    """Terminal-fraction-weighted average over transaction classes."""
+    return sum(
+        value * cls.terminal_fraction
+        for value, cls in zip(values, classes)
+    )
+
+
+def expected_reads_per_transaction(config: SimulationConfig) -> float:
+    """Mean pages read per transaction (mixed over classes)."""
+    classes = config.workload.classes
+    return _mixed(
+        [cls.file_count * cls.pages_per_file for cls in classes],
+        classes,
+    )
+
+
+def expected_writes_per_transaction(config: SimulationConfig) -> float:
+    """Mean pages written per transaction (mixed over classes)."""
+    classes = config.workload.classes
+    return _mixed(
+        [
+            cls.file_count * cls.pages_per_file
+            * cls.write_probability
+            for cls in classes
+        ],
+        classes,
+    )
+
+
+def _mean_disk_time(config: SimulationConfig) -> float:
+    resources = config.resources
+    return (resources.min_disk_time + resources.max_disk_time) / 2.0
+
+
+def disk_bound_throughput(config: SimulationConfig) -> float:
+    """Throughput ceiling imposed by aggregate disk capacity.
+
+    Every read is one disk access and every installed write one
+    asynchronous write-back; accesses spread evenly over all
+    ``nodes x disks_per_node`` disks (the balanced-placement property
+    the Database class guarantees).
+    """
+    accesses = expected_reads_per_transaction(
+        config
+    ) + expected_writes_per_transaction(config)
+    total_disks = (
+        config.num_proc_nodes * config.resources.disks_per_node
+    )
+    return total_disks / (accesses * _mean_disk_time(config))
+
+
+def _cpu_seconds_per_transaction(config: SimulationConfig) -> float:
+    """Processing-node CPU demand of one committed transaction."""
+    classes = config.workload.classes
+    reads = expected_reads_per_transaction(config)
+    writes = expected_writes_per_transaction(config)
+    inst_per_page = _mixed(
+        [cls.inst_per_page for cls in classes], classes
+    )
+    resources = config.resources
+    degree = config.database.placement_degree
+    # Page processing (each read and each write burns InstPerPage),
+    # write-back initiation, cohort startups, and the node-side half of
+    # the 6 protocol messages per cohort.
+    instructions = (
+        (reads + writes) * inst_per_page
+        + writes * resources.inst_per_update
+        + degree * resources.inst_per_startup
+        + degree * 6 * resources.inst_per_msg
+        + (reads + writes) * config.inst_per_cc_request
+    )
+    return instructions / (resources.node_cpu_mips * 1e6)
+
+
+def cpu_bound_throughput(config: SimulationConfig) -> float:
+    """Throughput ceiling imposed by aggregate node-CPU capacity."""
+    return config.num_proc_nodes / _cpu_seconds_per_transaction(
+        config
+    )
+
+
+def throughput_upper_bound(config: SimulationConfig) -> float:
+    """min(disk bound, CPU bound) — no-contention saturation rate."""
+    return min(
+        disk_bound_throughput(config), cpu_bound_throughput(config)
+    )
+
+
+def expected_longest_cohort_pages(
+    mean_pages: int, degree: int
+) -> float:
+    """E[max of ``degree`` iid Uniform{mean/2 .. 3*mean/2} draws].
+
+    The paper's footnote 12: with cohort sizes uniform on 4..12, the
+    expected longest of 8 cohorts is close to 12, limiting the 8-way
+    response-time speedup to 64/12 ≈ 5.33 rather than 64/8 = 8.
+    """
+    low = max(1, mean_pages // 2)
+    high = (3 * mean_pages) // 2
+    span = high - low + 1
+    # E[max] = high - sum_{k=low}^{high-1} P(max <= k)
+    expected = float(high)
+    for k in range(low, high):
+        cdf = (k - low + 1) / span
+        expected -= cdf ** degree
+    return expected
+
+
+def light_load_response_time(config: SimulationConfig) -> float:
+    """Estimated response time of a lone transaction in the machine.
+
+    The critical path is the longest cohort: startup, then for each of
+    its pages a disk read plus page processing (update pages pay a
+    second processing burst), then the two round trips of the commit
+    protocol.  Message wire time is zero; CPU message costs on an idle
+    machine are microseconds and included for completeness.
+    """
+    (cls,) = (
+        config.workload.classes
+        if len(config.workload.classes) == 1
+        else (config.workload.classes[0],)
+    )
+    degree = config.database.placement_degree
+    longest = expected_longest_cohort_pages(
+        cls.file_count * cls.pages_per_file // degree
+        if degree == 1
+        else cls.pages_per_file,
+        degree,
+    )
+    if degree == 1:
+        # A single cohort does all partitions' pages sequentially.
+        longest = cls.file_count * cls.pages_per_file
+    resources = config.resources
+    node_second = 1.0 / (resources.node_cpu_mips * 1e6)
+    host_second = 1.0 / (resources.host_cpu_mips * 1e6)
+    page_time = _mean_disk_time(config) + cls.inst_per_page * (
+        1.0 + cls.write_probability
+    ) * node_second
+    startup = (
+        resources.inst_per_startup * (host_second + node_second)
+    )
+    messages = 6 * resources.inst_per_msg * (
+        host_second + node_second
+    )
+    return startup + longest * page_time + messages
+
+
+def terminal_bound_throughput(
+    config: SimulationConfig, response_time: float
+) -> float:
+    """Closed-system throughput: terminals / (think + response)."""
+    workload = config.workload
+    cycle = workload.think_time + response_time
+    if cycle <= 0.0:
+        return float("inf")
+    return workload.num_terminals / cycle

@@ -1,0 +1,93 @@
+"""Figure series: the x/y data behind one paper figure, plus formatting.
+
+Every experiment produces one or more :class:`FigureSeries`; the
+benchmark harness prints them with :func:`format_table` so the rows the
+paper plots can be read straight off the benchmark output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["FigureSeries", "format_table"]
+
+
+@dataclass
+class FigureSeries:
+    """One figure: a shared x-axis and one curve per algorithm."""
+
+    title: str
+    x_label: str
+    y_label: str
+    x_values: List[float]
+    curves: Dict[str, List[Optional[float]]] = field(
+        default_factory=dict
+    )
+
+    def add_curve(
+        self, name: str, values: Sequence[Optional[float]]
+    ) -> None:
+        """Attach a named curve; must match the x-axis length."""
+        values = list(values)
+        if len(values) != len(self.x_values):
+            raise ValueError(
+                f"curve {name!r} has {len(values)} points, "
+                f"x-axis has {len(self.x_values)}"
+            )
+        self.curves[name] = values
+
+    def curve(self, name: str) -> List[Optional[float]]:
+        """The named curve's y-values."""
+        return self.curves[name]
+
+    def value_at(self, name: str, x: float) -> Optional[float]:
+        """The named curve's value at x (exact match)."""
+        index = self.x_values.index(x)
+        return self.curves[name][index]
+
+    def __str__(self) -> str:
+        return format_table(self)
+
+
+def _format_cell(value: Optional[float], width: int) -> str:
+    if value is None:
+        return "-".rjust(width)
+    if value == 0:
+        return "0".rjust(width)
+    magnitude = abs(value)
+    if magnitude >= 1000:
+        text = f"{value:.0f}"
+    elif magnitude >= 10:
+        text = f"{value:.1f}"
+    elif magnitude >= 0.01:
+        text = f"{value:.3f}"
+    else:
+        text = f"{value:.2e}"
+    return text.rjust(width)
+
+
+def format_table(series: FigureSeries, width: int = 9) -> str:
+    """Render a figure as a fixed-width text table.
+
+    The column width stretches to fit the longest curve name (plus a
+    separating space) so adjacent headers never run together.
+    """
+    names = list(series.curves)
+    longest = max(
+        [len(series.x_label)] + [len(name) for name in names]
+    )
+    width = max(width, longest + 1)
+    header = series.x_label.rjust(width) + "".join(
+        name.rjust(width) for name in names
+    )
+    lines = [series.title, "-" * len(series.title), header]
+    for index, x in enumerate(series.x_values):
+        row = _format_cell(x, width)
+        for name in names:
+            row += _format_cell(series.curves[name][index], width)
+        lines.append(row)
+    lines.append(
+        f"({series.y_label} vs {series.x_label})"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Speedup and degradation arithmetic (paper §4.1, §4.2).
+
+The paper's derived metrics:
+
+* *Throughput speedup* of configuration B over A: ``tput_B / tput_A``.
+* *Response-time speedup*: ``rt_A / rt_B`` (bigger is better for B).
+* *Percent response-time degradation* of an algorithm relative to NO_DC:
+  ``100 * (rt_algo - rt_nodc) / rt_nodc``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["percent_degradation", "ratio_curves", "ratio_series"]
+
+
+def ratio_series(
+    numerators: Sequence[Optional[float]],
+    denominators: Sequence[Optional[float]],
+) -> List[Optional[float]]:
+    """Pointwise ``numerator / denominator``; None where undefined."""
+    if len(numerators) != len(denominators):
+        raise ValueError("series lengths differ")
+    out: List[Optional[float]] = []
+    for numerator, denominator in zip(numerators, denominators):
+        if (
+            numerator is None
+            or denominator is None
+            or denominator == 0.0
+        ):
+            out.append(None)
+        else:
+            out.append(numerator / denominator)
+    return out
+
+
+def ratio_curves(
+    numerator_curves: dict,
+    denominator_curves: dict,
+) -> dict:
+    """Per-name pointwise ratios over two curve dictionaries."""
+    return {
+        name: ratio_series(
+            numerator_curves[name], denominator_curves[name]
+        )
+        for name in numerator_curves
+        if name in denominator_curves
+    }
+
+
+def percent_degradation(
+    values: Sequence[Optional[float]],
+    baseline: Sequence[Optional[float]],
+) -> List[Optional[float]]:
+    """``100 * (value - baseline) / baseline`` pointwise."""
+    if len(values) != len(baseline):
+        raise ValueError("series lengths differ")
+    out: List[Optional[float]] = []
+    for value, base in zip(values, baseline):
+        if value is None or base is None or base == 0.0:
+            out.append(None)
+        else:
+            out.append(100.0 * (value - base) / base)
+    return out

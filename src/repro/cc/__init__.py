@@ -1,0 +1,55 @@
+"""Concurrency control managers (paper §2).
+
+One subclass of :class:`~repro.cc.base.CCAlgorithm` per algorithm:
+
+* ``2pl``   — distributed two-phase locking with local deadlock
+  detection on block and a rotating "Snoop" global detector
+  (:mod:`repro.cc.two_phase_locking`).
+* ``ww``    — wound-wait locking, deadlock prevention via timestamps
+  (:mod:`repro.cc.wound_wait`).
+* ``bto``   — basic timestamp ordering with the Thomas write rule,
+  queued prewrites and blocked readers
+  (:mod:`repro.cc.timestamp_ordering`).
+* ``opt``   — distributed optimistic certification at commit time
+  (:mod:`repro.cc.optimistic`).
+* ``no_dc`` — the paper's no-data-contention baseline: 2PL with an
+  infinitely large database, i.e. every request granted
+  (:mod:`repro.cc.no_dc`).
+
+Two extension algorithms beyond the paper complete the blocking/restart
+spectrum:
+
+* ``wd`` — wait-die, wound-wait's sibling from [Rose78]
+  (:mod:`repro.cc.wait_die`).
+* ``ir`` — immediate-restart ("no waiting") locking from the ACL87
+  companion study (:mod:`repro.cc.immediate_restart`).
+
+:func:`make_algorithm` resolves an algorithm by name;
+:func:`repro.cc.registry.register_algorithm` adds custom ones.
+"""
+
+from repro.cc.base import (
+    CCAlgorithm,
+    CCContext,
+    CCResponse,
+    NodeCCManager,
+    RequestResult,
+)
+from repro.cc.registry import (
+    ALGORITHM_NAMES,
+    EXTENSION_NAMES,
+    make_algorithm,
+    register_algorithm,
+)
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "CCAlgorithm",
+    "CCContext",
+    "CCResponse",
+    "EXTENSION_NAMES",
+    "NodeCCManager",
+    "RequestResult",
+    "make_algorithm",
+    "register_algorithm",
+]

@@ -1,0 +1,80 @@
+"""Shared node-manager logic for the locking algorithms (2PL, WW).
+
+Both locking algorithms behave identically except for what happens when
+a request must wait: 2PL blocks and checks for deadlocks, wound-wait
+wounds younger conflicting transactions first.  That difference is the
+:meth:`LockingNodeManager.on_conflict` hook.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.cc.base import CCContext, CCResponse, NodeCCManager
+from repro.cc.locks import LockManager, LockMode, LockRequest
+from repro.core.database import PageId
+from repro.core.transaction import Cohort, Transaction
+
+__all__ = ["LockingNodeManager"]
+
+
+class LockingNodeManager(NodeCCManager):
+    """Lock-table-backed CC manager; subclasses set the wait policy."""
+
+    #: Whether read-to-write conversions are placed ahead of ordinary
+    #: waiters.  2PL says yes (usual lock manager practice); wound-wait
+    #: says no, which together with wounding keeps every wait edge
+    #: pointing from a younger to an older transaction.
+    upgrades_jump_queue = True
+
+    def __init__(self, node_id: int, context: CCContext):
+        super().__init__(node_id, context)
+        self.locks = LockManager(
+            context.env, upgrades_jump_queue=self.upgrades_jump_queue
+        )
+
+    def read_request(self, cohort: Cohort, page: PageId) -> CCResponse:
+        """Acquire a shared lock, blocking on conflict."""
+        return self._acquire(cohort, page, LockMode.SHARED)
+
+    def write_request(self, cohort: Cohort, page: PageId) -> CCResponse:
+        """Convert the read lock to a write lock, blocking on conflict."""
+        return self._acquire(cohort, page, LockMode.EXCLUSIVE)
+
+    def _acquire(
+        self, cohort: Cohort, page: PageId, mode: LockMode
+    ) -> CCResponse:
+        granted, request, conflict_set = self.locks.acquire(
+            cohort, page, mode
+        )
+        if granted:
+            return CCResponse.granted()
+        assert request is not None
+        self.on_conflict(request, conflict_set)
+        return CCResponse.blocked(request.event)
+
+    def on_conflict(
+        self,
+        request: LockRequest,
+        conflict_set: List[Transaction],
+    ) -> None:
+        """Policy hook invoked after a request has been queued."""
+
+    def prepare(self, cohort: Cohort) -> bool:
+        """Locking validates during execution; always vote yes."""
+        return True
+
+    def commit(self, cohort: Cohort) -> List[PageId]:
+        """Release all locks held at this node; all updates install."""
+        self.locks.release_all(cohort.transaction)
+        return cohort.updated_pages
+
+    def abort(self, cohort: Cohort) -> None:
+        """Release locks and drop any queued request (idempotent)."""
+        self.locks.release_all(cohort.transaction)
+
+    def waits_for_edges(
+        self,
+    ) -> List[Tuple[Transaction, Transaction]]:
+        """Local waits-for edges, for the deadlock detectors."""
+        return self.locks.waits_for_edges()

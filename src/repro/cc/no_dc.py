@@ -1,0 +1,56 @@
+"""The NO_DC (no data contention) baseline (paper §4.2).
+
+"The NO_DC results, which can be viewed as results for 2PL with an
+infinitely large database, show the performance that would be obtained
+if data contention were not a factor."  Every request is granted
+immediately, transactions never block on data, and no aborts ever occur
+— resource contention (CPUs, disks, messages) is the only limit.
+"""
+
+from __future__ import annotations
+
+from repro.cc.base import (
+    CCAlgorithm,
+    CCContext,
+    CCResponse,
+    NodeCCManager,
+)
+from repro.core.database import PageId
+from repro.core.transaction import Cohort
+
+__all__ = ["NoDataContention", "NoDcNodeManager"]
+
+
+class NoDcNodeManager(NodeCCManager):
+    """Grants everything; pure resource-contention baseline."""
+
+    def read_request(self, cohort: Cohort, page: PageId) -> CCResponse:
+        """Always granted."""
+        return CCResponse.granted()
+
+    def write_request(self, cohort: Cohort, page: PageId) -> CCResponse:
+        """Always granted."""
+        return CCResponse.granted()
+
+    def prepare(self, cohort: Cohort) -> bool:
+        """Always votes yes."""
+        return True
+
+    def commit(self, cohort: Cohort):
+        """Nothing to release; all updates install."""
+        return cohort.updated_pages
+
+    def abort(self, cohort: Cohort) -> None:
+        """Nothing to clean up."""
+
+
+class NoDataContention(CCAlgorithm):
+    """The infinite-database 2PL baseline."""
+
+    name = "no_dc"
+
+    def make_node_manager(
+        self, node_id: int, context: CCContext
+    ) -> NoDcNodeManager:
+        """Create the pass-through manager for one node."""
+        return NoDcNodeManager(node_id, context)

@@ -1,0 +1,203 @@
+"""Distributed optimistic certification (paper §2.5, [Sinh85]).
+
+Cohorts read and update freely during execution — every access request
+is granted immediately.  Updates go to a private workspace; for every
+read the cohort remembers the version identifier (the page's write
+timestamp) it saw.  When all cohorts have reported back, the coordinator
+mints a globally unique certification timestamp and ships it in the
+"prepare to commit" message; each cohort then *locally certifies* its
+reads and writes in a critical section (naturally atomic in a
+discrete-event simulation):
+
+* A read certifies if (i) the version read is still the page's current
+  version, and (ii) no write on the page has already been locally
+  certified by another still-pending transaction.  Condition (ii) is
+  the conservative reading of the paper's "no write with a newer
+  timestamp has already been locally certified": certified-but-
+  undecided writes on a page block read certification outright, which
+  is both safe for every interleaving and simplest — and the pending
+  window (between a transaction's phase one and phase two) is short.
+* A write certifies if (i) no read with a later timestamp has been
+  certified and subsequently committed (``rts(x) <= ts``), and (ii) no
+  read with a later timestamp is locally certified and still pending.
+
+A successful certification leaves the cohort's reads and writes
+registered as *pending* until the commit/abort decision arrives: commit
+installs them (``rts``/``wts`` advance, writes become the current
+version), abort discards them.  Conflicts are thus resolved purely by
+aborting the certifying transaction — the paper's point about OPT being
+unable to benefit from blocking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.cc.base import (
+    CCAlgorithm,
+    CCContext,
+    CCResponse,
+    NodeCCManager,
+)
+from repro.core.database import PageId
+from repro.core.transaction import Cohort, Timestamp, Transaction
+
+__all__ = ["DistributedCertification", "OptimisticNodeManager"]
+
+_ZERO_TS: Timestamp = (-1.0, -1)
+
+
+class _PageRecord:
+    __slots__ = ("rts", "wts", "pending_reads", "pending_writes")
+
+    def __init__(self):
+        self.rts: Timestamp = _ZERO_TS
+        self.wts: Timestamp = _ZERO_TS
+        #: Certified-but-undecided accesses: txn -> certification ts.
+        self.pending_reads: Dict[Transaction, Timestamp] = {}
+        self.pending_writes: Dict[Transaction, Timestamp] = {}
+
+
+class _CohortState:
+    __slots__ = ("reads", "writes", "certified")
+
+    def __init__(self):
+        #: (page, version write-timestamp at read time) pairs.
+        self.reads: List[Tuple[PageId, Timestamp]] = []
+        self.writes: List[PageId] = []
+        self.certified = False
+
+
+class OptimisticNodeManager(NodeCCManager):
+    """Certification-based node manager."""
+
+    def __init__(self, node_id: int, context: CCContext):
+        super().__init__(node_id, context)
+        self._pages: Dict[PageId, _PageRecord] = {}
+
+    def register_cohort(self, cohort: Cohort) -> None:
+        """Attach a fresh workspace/read-set record."""
+        cohort.cc_state = _CohortState()
+
+    def _state(self, cohort: Cohort) -> _CohortState:
+        if not isinstance(cohort.cc_state, _CohortState):
+            cohort.cc_state = _CohortState()
+        return cohort.cc_state
+
+    def _record(self, page: PageId) -> _PageRecord:
+        record = self._pages.get(page)
+        if record is None:
+            record = _PageRecord()
+            self._pages[page] = record
+        return record
+
+    # ------------------------------------------------------------------
+    # Access requests — always granted
+    # ------------------------------------------------------------------
+
+    def read_request(self, cohort: Cohort, page: PageId) -> CCResponse:
+        """Record the version read; always granted."""
+        record = self._record(page)
+        self._state(cohort).reads.append((page, record.wts))
+        return CCResponse.granted()
+
+    def write_request(self, cohort: Cohort, page: PageId) -> CCResponse:
+        """Buffer the update in the workspace; always granted."""
+        self._state(cohort).writes.append(page)
+        return CCResponse.granted()
+
+    # ------------------------------------------------------------------
+    # Certification
+    # ------------------------------------------------------------------
+
+    def prepare(self, cohort: Cohort) -> bool:
+        """Locally certify the cohort's reads and writes."""
+        txn = cohort.transaction
+        ts = txn.commit_timestamp
+        assert ts is not None, "certification needs a commit timestamp"
+        state = self._state(cohort)
+        for page, version in state.reads:
+            record = self._record(page)
+            if record.wts != version:
+                return False
+            if any(
+                owner is not txn
+                for owner in record.pending_writes
+            ):
+                return False
+        for page in state.writes:
+            record = self._record(page)
+            if record.rts > ts:
+                return False
+            if any(
+                owner is not txn and pending_ts > ts
+                for owner, pending_ts in record.pending_reads.items()
+            ):
+                return False
+        # Certification succeeded: register pending accesses so
+        # concurrent certifiers see them until our decision arrives.
+        for page, _version in state.reads:
+            self._record(page).pending_reads[txn] = ts
+        for page in state.writes:
+            self._record(page).pending_writes[txn] = ts
+        state.certified = True
+        return True
+
+    def commit(self, cohort: Cohort) -> List[PageId]:
+        """Install certified reads and writes."""
+        txn = cohort.transaction
+        ts = txn.commit_timestamp
+        state = self._state(cohort)
+        for page, _version in state.reads:
+            record = self._record(page)
+            record.pending_reads.pop(txn, None)
+            if ts is not None and ts > record.rts:
+                record.rts = ts
+        for page in state.writes:
+            record = self._record(page)
+            record.pending_writes.pop(txn, None)
+            if ts is not None and ts > record.wts:
+                record.wts = ts
+        state.certified = False
+        return cohort.updated_pages
+
+    def abort(self, cohort: Cohort) -> None:
+        """Discard the workspace and any pending certifications."""
+        txn = cohort.transaction
+        state = self._state(cohort)
+        for page, _version in state.reads:
+            record = self._pages.get(page)
+            if record is not None:
+                record.pending_reads.pop(txn, None)
+        for page in state.writes:
+            record = self._pages.get(page)
+            if record is not None:
+                record.pending_writes.pop(txn, None)
+        state.reads = []
+        state.writes = []
+        state.certified = False
+
+    # ------------------------------------------------------------------
+    # Introspection (test support)
+    # ------------------------------------------------------------------
+
+    def page_timestamps(
+        self, page: PageId
+    ) -> Tuple[Timestamp, Timestamp]:
+        """(rts, wts) of a page; zero timestamps if untouched."""
+        record = self._pages.get(page)
+        if record is None:
+            return (_ZERO_TS, _ZERO_TS)
+        return (record.rts, record.wts)
+
+
+class DistributedCertification(CCAlgorithm):
+    """Sinha-style distributed optimistic concurrency control."""
+
+    name = "opt"
+
+    def make_node_manager(
+        self, node_id: int, context: CCContext
+    ) -> OptimisticNodeManager:
+        """Create the certification manager for one node."""
+        return OptimisticNodeManager(node_id, context)

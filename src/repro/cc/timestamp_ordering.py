@@ -1,0 +1,279 @@
+"""Basic timestamp ordering (paper §2.4, [Bern80b, Bern81]).
+
+Every page carries a read timestamp and a write timestamp; conflicting
+accesses must occur in startup-timestamp order, with out-of-order
+accesses aborted — except write-write conflicts, to which the Thomas
+write rule applies.  The interaction with two-phase commit follows the
+paper exactly:
+
+* Writers keep updates in a private workspace until commit.  A granted
+  write becomes a *prewrite* queued on the page in timestamp order;
+  the writer itself never blocks.  Prewrites are applied (the page's
+  write timestamp advances and the update becomes visible) when the
+  writer commits.
+* An accepted read that would see a pending earlier write must *block*
+  until that write commits or aborts: "a write request locks out
+  subsequent reads with later timestamps until the write actually
+  becomes visible at commit time."
+
+Rules, for a transaction with timestamp ``ts`` touching page ``x``:
+
+* read:  reject if ``ts < wts(x)``; block while a prewrite with smaller
+  timestamp is pending; otherwise grant and set
+  ``rts(x) = max(rts(x), ts)``.
+* write: reject if ``ts < rts(x)``; if ``ts < wts(x)`` grant but ignore
+  the write (Thomas rule — nothing installed, no write-back I/O);
+  otherwise queue a prewrite and grant.
+
+A blocked reader whose blocking writers all resolve is re-evaluated: it
+may then be granted, or rejected if a *newer* write committed in the
+meantime.  Restarted transactions draw a fresh timestamp — their old
+one is stale by construction, so rerunning with it would abort forever.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Tuple
+
+from repro.cc.base import (
+    CCAlgorithm,
+    CCContext,
+    CCResponse,
+    NodeCCManager,
+    RequestResult,
+)
+from repro.core.database import PageId
+from repro.core.transaction import Cohort, Timestamp, Transaction, \
+    make_timestamp
+
+__all__ = ["BasicTimestampOrdering", "BtoNodeManager"]
+
+#: Timestamp value older than any real one (pages start unwritten).
+_ZERO_TS: Timestamp = (-1.0, -1)
+
+
+class _BlockedRead:
+    __slots__ = ("timestamp", "cohort", "event")
+
+    def __init__(self, timestamp, cohort, event):
+        self.timestamp = timestamp
+        self.cohort = cohort
+        self.event = event
+
+
+class _PageRecord:
+    __slots__ = ("rts", "wts", "pending", "blocked")
+
+    def __init__(self):
+        self.rts: Timestamp = _ZERO_TS
+        self.wts: Timestamp = _ZERO_TS
+        #: Prewrites pending commit, kept sorted by timestamp.
+        self.pending: List[Tuple[Timestamp, Transaction]] = []
+        self.blocked: List[_BlockedRead] = []
+
+
+class _CohortState:
+    """Per-cohort bookkeeping the manager needs for cleanup."""
+
+    __slots__ = ("prewrites", "ignored_writes", "blocked_pages")
+
+    def __init__(self):
+        #: Pages on which this cohort queued a prewrite.
+        self.prewrites: List[PageId] = []
+        #: Pages whose write the Thomas rule discarded.
+        self.ignored_writes: List[PageId] = []
+        #: Pages on which this cohort currently has a blocked read.
+        self.blocked_pages: List[PageId] = []
+
+
+class BtoNodeManager(NodeCCManager):
+    """Basic timestamp ordering node manager."""
+
+    def __init__(self, node_id: int, context: CCContext):
+        super().__init__(node_id, context)
+        self._pages: Dict[PageId, _PageRecord] = {}
+
+    def register_cohort(self, cohort: Cohort) -> None:
+        """Attach fresh per-cohort bookkeeping."""
+        cohort.cc_state = _CohortState()
+
+    def _state(self, cohort: Cohort) -> _CohortState:
+        if not isinstance(cohort.cc_state, _CohortState):
+            cohort.cc_state = _CohortState()
+        return cohort.cc_state
+
+    def _record(self, page: PageId) -> _PageRecord:
+        record = self._pages.get(page)
+        if record is None:
+            record = _PageRecord()
+            self._pages[page] = record
+        return record
+
+    # ------------------------------------------------------------------
+    # Access requests
+    # ------------------------------------------------------------------
+
+    def read_request(self, cohort: Cohort, page: PageId) -> CCResponse:
+        """Timestamp-check a read; may block behind earlier prewrites."""
+        ts = cohort.transaction.timestamp
+        assert ts is not None
+        record = self._record(page)
+        if ts < record.wts:
+            return CCResponse.rejected()
+        if record.pending and record.pending[0][0] < ts:
+            event = self.context.env.event()
+            record.blocked.append(_BlockedRead(ts, cohort, event))
+            self._state(cohort).blocked_pages.append(page)
+            return CCResponse.blocked(event)
+        if ts > record.rts:
+            record.rts = ts
+        return CCResponse.granted()
+
+    def write_request(self, cohort: Cohort, page: PageId) -> CCResponse:
+        """Timestamp-check a write; never blocks (prewrite queue)."""
+        ts = cohort.transaction.timestamp
+        assert ts is not None
+        record = self._record(page)
+        if ts < record.rts:
+            return CCResponse.rejected()
+        state = self._state(cohort)
+        if ts < record.wts:
+            # Thomas write rule: accept but discard the write.
+            state.ignored_writes.append(page)
+            return CCResponse.granted()
+        bisect.insort(record.pending, (ts, cohort.transaction))
+        state.prewrites.append(page)
+        return CCResponse.granted()
+
+    # ------------------------------------------------------------------
+    # Commit protocol
+    # ------------------------------------------------------------------
+
+    def prepare(self, cohort: Cohort) -> bool:
+        """All conflicts were resolved at access time; vote yes."""
+        return True
+
+    def commit(self, cohort: Cohort) -> List[PageId]:
+        """Apply this cohort's prewrites and release blocked readers.
+
+        A prewrite whose timestamp is older than the page's current
+        write timestamp is discarded at install time (Thomas rule on a
+        racing, later writer that committed first); it never becomes the
+        current version, so it is excluded from the returned (and hence
+        written-back) pages.
+        """
+        txn = cohort.transaction
+        state = self._state(cohort)
+        installed: List[PageId] = []
+        for page in state.prewrites:
+            record = self._pages.get(page)
+            if record is None:
+                continue
+            removed = self._remove_pending(record, txn)
+            if removed is not None and removed > record.wts:
+                record.wts = removed
+                installed.append(page)
+            self._reevaluate_blocked(page, record)
+        state.prewrites = []
+        state.blocked_pages = []
+        return installed
+
+    def abort(self, cohort: Cohort) -> None:
+        """Discard prewrites and queued blocked reads (idempotent)."""
+        txn = cohort.transaction
+        state = self._state(cohort)
+        for page in state.prewrites:
+            record = self._pages.get(page)
+            if record is None:
+                continue
+            self._remove_pending(record, txn)
+            self._reevaluate_blocked(page, record)
+        state.prewrites = []
+        for page in state.blocked_pages:
+            record = self._pages.get(page)
+            if record is None:
+                continue
+            record.blocked = [
+                blocked
+                for blocked in record.blocked
+                if blocked.cohort is not cohort
+            ]
+        state.blocked_pages = []
+        state.ignored_writes = []
+
+    def _remove_pending(
+        self, record: _PageRecord, txn: Transaction
+    ) -> Optional[Timestamp]:
+        """Remove ``txn``'s prewrite; returns its timestamp if found."""
+        for index, (ts, owner) in enumerate(record.pending):
+            if owner is txn:
+                del record.pending[index]
+                return ts
+        return None
+
+    def _reevaluate_blocked(
+        self, page: PageId, record: _PageRecord
+    ) -> None:
+        """Resolve blocked reads no longer behind a pending prewrite."""
+        still_blocked: List[_BlockedRead] = []
+        for blocked in record.blocked:
+            if record.pending and record.pending[0][0] < blocked.timestamp:
+                still_blocked.append(blocked)
+                continue
+            self._release_blocked_read(page, record, blocked)
+        record.blocked = still_blocked
+
+    def _release_blocked_read(
+        self, page: PageId, record: _PageRecord, blocked: _BlockedRead
+    ) -> None:
+        state = self._state(blocked.cohort)
+        if page in state.blocked_pages:
+            state.blocked_pages.remove(page)
+        if blocked.timestamp < record.wts:
+            # A newer write became visible while we waited.
+            blocked.event.succeed(RequestResult.REJECTED)
+            return
+        if blocked.timestamp > record.rts:
+            record.rts = blocked.timestamp
+        blocked.event.succeed(RequestResult.GRANTED)
+
+    # ------------------------------------------------------------------
+    # Introspection (test support)
+    # ------------------------------------------------------------------
+
+    def page_timestamps(
+        self, page: PageId
+    ) -> Tuple[Timestamp, Timestamp]:
+        """(rts, wts) of a page; zero timestamps if untouched."""
+        record = self._pages.get(page)
+        if record is None:
+            return (_ZERO_TS, _ZERO_TS)
+        return (record.rts, record.wts)
+
+    def pending_count(self, page: PageId) -> int:
+        """Number of prewrites pending on ``page``."""
+        record = self._pages.get(page)
+        return len(record.pending) if record else 0
+
+
+class BasicTimestampOrdering(CCAlgorithm):
+    """Basic timestamp ordering with fresh timestamps per attempt."""
+
+    name = "bto"
+
+    def make_node_manager(
+        self, node_id: int, context: CCContext
+    ) -> BtoNodeManager:
+        """Create the BTO manager for one node."""
+        return BtoNodeManager(node_id, context)
+
+    def assign_timestamps(
+        self, transaction: Transaction, now: float
+    ) -> None:
+        """Fresh ordering timestamp every attempt; startup kept."""
+        if transaction.startup_timestamp is None:
+            transaction.startup_timestamp = make_timestamp(now)
+            transaction.timestamp = transaction.startup_timestamp
+        else:
+            transaction.timestamp = make_timestamp(now)

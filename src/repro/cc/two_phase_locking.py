@@ -1,0 +1,156 @@
+"""Distributed two-phase locking (paper §2.2).
+
+Cohorts lock dynamically as they execute — shared locks for reads,
+converted to exclusive for updates — and hold all locks until the
+transaction commits or aborts.  Deadlocks are handled at two levels:
+
+* **Local detection on block.**  Whenever a cohort blocks, the node's
+  waits-for graph is searched for a cycle through the blocker; the
+  youngest transaction in the cycle (most recent initial startup time)
+  is aborted.
+
+* **Global "Snoop" detection.**  A Snoop responsibility rotates among
+  the processing nodes round-robin, as in Distributed INGRES.  After
+  holding the role for ``DetectionInterval`` seconds, the Snoop node
+  gathers waits-for edges from every other node (one request and one
+  reply message per node, paying normal message CPU costs), unions them
+  with its own, breaks every cycle found by aborting the youngest
+  member, and passes the role on.
+
+Victim aborts travel through the transaction manager's abort-request
+path: a message to the victim's coordinator at the host, then the
+ordinary abort protocol.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cc.base import CCAlgorithm, CCContext
+from repro.cc.locking_common import LockingNodeManager
+from repro.cc.locks import LockRequest
+from repro.cc.wfg import break_all_deadlocks, build_adjacency, \
+    find_cycle_from, youngest
+from repro.core.transaction import Transaction
+
+__all__ = ["TwoPhaseLocking", "TwoPhaseLockingNodeManager"]
+
+
+class TwoPhaseLockingNodeManager(LockingNodeManager):
+    """2PL node manager: block on conflict, detect local deadlocks."""
+
+    upgrades_jump_queue = True
+
+    def on_conflict(
+        self,
+        request: LockRequest,
+        conflict_set: List[Transaction],
+    ) -> None:
+        """Local deadlock detection, run whenever a cohort blocks.
+
+        Every new wait edge touches the blocker (including the
+        behind-edges an upgrade creates by jumping the queue), so any
+        cycle this block just closed passes through the blocker.
+        Several distinct cycles can close at once, so detection
+        iterates: find a cycle through the blocker, doom its youngest
+        member, treat the doomed transaction's edges as already gone,
+        and rescan until no cycle remains.  Transactions that are
+        already aborting are likewise excluded — their locks are about
+        to be released, so cycles through them resolve themselves.
+        """
+        me = request.transaction
+        doomed: set = set()
+        while me not in doomed:
+            edges = [
+                (waiter, holder)
+                for waiter, holder in self.locks.waits_for_edges()
+                if waiter not in doomed
+                and holder not in doomed
+                and not waiter.abort_pending
+                and not holder.abort_pending
+            ]
+            cycle = find_cycle_from(me, build_adjacency(edges))
+            if cycle is None:
+                return
+            victim = youngest(cycle)
+            doomed.add(victim)
+            self.context.request_abort(
+                victim, "local-deadlock", self.node_id
+            )
+
+
+class TwoPhaseLocking(CCAlgorithm):
+    """Distributed 2PL with the rotating Snoop global detector."""
+
+    name = "2pl"
+
+    def make_node_manager(
+        self, node_id: int, context: CCContext
+    ) -> TwoPhaseLockingNodeManager:
+        """Create the lock-based manager for one node."""
+        return TwoPhaseLockingNodeManager(node_id, context)
+
+    def start_global(self, simulation) -> None:
+        """Launch the Snoop process (only useful with 2+ nodes)."""
+        if simulation.config.num_proc_nodes < 2:
+            return
+        simulation.env.process(
+            self._snoop(simulation), name="snoop"
+        )
+
+    def _snoop(self, simulation):
+        """The rotating global deadlock detector."""
+        env = simulation.env
+        network = simulation.network
+        managers = simulation.node_cc_managers
+        context = simulation.cc_context
+        interval = simulation.config.detection_interval
+        num_nodes = len(managers)
+        snoop_node = 0
+        while True:
+            yield env.timeout(interval)
+            edges = list(managers[snoop_node].waits_for_edges())
+            replies = []
+            for node in range(num_nodes):
+                if node == snoop_node:
+                    continue
+                replies.append(
+                    self._gather_from(
+                        env, network, managers, snoop_node, node
+                    )
+                )
+            if replies:
+                reply_lists = yield env.all_of(replies)
+                for node_edges in reply_lists:
+                    edges.extend(node_edges)
+            # Transactions already marked for abort are as good as
+            # gone: their locks release when the abort message lands,
+            # so cycles through them need no (second) victim.
+            edges = [
+                (waiter, holder)
+                for waiter, holder in edges
+                if not waiter.abort_pending
+                and not holder.abort_pending
+            ]
+            for victim in break_all_deadlocks(edges):
+                if victim.abortable:
+                    context.request_abort(
+                        victim, "global-deadlock", snoop_node
+                    )
+            snoop_node = (snoop_node + 1) % num_nodes
+
+    def _gather_from(self, env, network, managers, snoop_node, node):
+        """Request + reply message pair collecting one node's edges."""
+        reply_event = env.event()
+
+        def deliver_reply(edges) -> None:
+            reply_event.succeed(edges)
+
+        def deliver_request(_payload) -> None:
+            # Snapshot the node's edges when the request arrives and
+            # ship them back to the Snoop node.
+            edges = managers[node].waits_for_edges()
+            network.post(node, snoop_node, deliver_reply, edges)
+
+        network.post(snoop_node, node, deliver_request)
+        return reply_event

@@ -1,0 +1,152 @@
+"""Waits-for graph analysis for deadlock detection (paper §2.2).
+
+Used two ways by distributed 2PL:
+
+* *Local detection* whenever a cohort blocks — a cycle search seeded at
+  the newly blocked transaction over that node's edges.
+* *Global detection* by the rotating "Snoop" — the union of all nodes'
+  edges is scanned for cycles; each cycle is broken by aborting the
+  youngest member (the one with the most recent initial startup time).
+
+Edges are (waiter, holder) transaction pairs.  The functions are pure;
+they operate on edge lists so they are directly testable and reusable by
+both detectors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.transaction import Transaction
+
+__all__ = [
+    "break_all_deadlocks",
+    "build_adjacency",
+    "find_cycle_from",
+    "youngest",
+]
+
+Edge = Tuple[Transaction, Transaction]
+
+
+def build_adjacency(
+    edges: Iterable[Edge],
+) -> Dict[Transaction, List[Transaction]]:
+    """Adjacency map (waiter -> holders) from an edge list."""
+    adjacency: Dict[Transaction, List[Transaction]] = {}
+    for waiter, holder in edges:
+        neighbors = adjacency.setdefault(waiter, [])
+        if holder not in neighbors:
+            neighbors.append(holder)
+    return adjacency
+
+
+def find_cycle_from(
+    start: Transaction,
+    adjacency: Dict[Transaction, List[Transaction]],
+) -> Optional[List[Transaction]]:
+    """A cycle through ``start``, or None.
+
+    Iterative DFS along waits-for edges; returns the cycle's members
+    (each waiting for the next, last waiting for ``start``).
+    """
+    stack: List[Tuple[Transaction, int]] = [(start, 0)]
+    path: List[Transaction] = [start]
+    on_path: Set[Transaction] = {start}
+    visited: Set[Transaction] = {start}
+    while stack:
+        node, edge_index = stack[-1]
+        neighbors = adjacency.get(node, [])
+        if edge_index >= len(neighbors):
+            stack.pop()
+            path.pop()
+            on_path.discard(node)
+            continue
+        stack[-1] = (node, edge_index + 1)
+        neighbor = neighbors[edge_index]
+        if neighbor is start:
+            return list(path)
+        if neighbor in on_path or neighbor in visited:
+            continue
+        visited.add(neighbor)
+        on_path.add(neighbor)
+        path.append(neighbor)
+        stack.append((neighbor, 0))
+    return None
+
+
+def youngest(members: Sequence[Transaction]) -> Transaction:
+    """The member with the most recent initial startup timestamp."""
+    return max(
+        members,
+        key=lambda txn: txn.startup_timestamp or (0.0, 0),
+    )
+
+
+def break_all_deadlocks(
+    edges: Iterable[Edge],
+) -> List[Transaction]:
+    """Victims whose removal makes the waits-for graph acyclic.
+
+    Repeatedly finds a cycle, marks its youngest member as a victim,
+    removes the victim's edges, and rescans — mirroring a detector that
+    aborts one transaction per deadlock found.
+    """
+    remaining = list(edges)
+    victims: List[Transaction] = []
+    while True:
+        adjacency = build_adjacency(remaining)
+        cycle = _find_any_cycle(adjacency)
+        if cycle is None:
+            return victims
+        victim = youngest(cycle)
+        victims.append(victim)
+        remaining = [
+            (waiter, holder)
+            for waiter, holder in remaining
+            if waiter is not victim and holder is not victim
+        ]
+
+
+def _find_any_cycle(
+    adjacency: Dict[Transaction, List[Transaction]],
+) -> Optional[List[Transaction]]:
+    visited: Set[Transaction] = set()
+    for start in list(adjacency):
+        if start in visited:
+            continue
+        cycle = _dfs_cycle(start, adjacency, visited)
+        if cycle is not None:
+            return cycle
+    return None
+
+
+def _dfs_cycle(
+    start: Transaction,
+    adjacency: Dict[Transaction, List[Transaction]],
+    visited: Set[Transaction],
+) -> Optional[List[Transaction]]:
+    stack: List[Tuple[Transaction, int]] = [(start, 0)]
+    path: List[Transaction] = [start]
+    on_path: Set[Transaction] = {start}
+    visited.add(start)
+    while stack:
+        node, edge_index = stack[-1]
+        neighbors = adjacency.get(node, [])
+        if edge_index >= len(neighbors):
+            stack.pop()
+            path.pop()
+            on_path.discard(node)
+            continue
+        stack[-1] = (node, edge_index + 1)
+        neighbor = neighbors[edge_index]
+        if neighbor in on_path:
+            cycle_start = path.index(neighbor)
+            return path[cycle_start:]
+        if neighbor in visited:
+            continue
+        visited.add(neighbor)
+        on_path.add(neighbor)
+        path.append(neighbor)
+        stack.append((neighbor, 0))
+    return None

@@ -1,0 +1,44 @@
+"""Distributed database machine model (paper §3).
+
+This subpackage assembles the paper's simulation model: the database and
+its placement (:mod:`repro.core.database`), the workload source and its
+terminals (:mod:`repro.core.workload`), transactions with coordinator and
+cohorts (:mod:`repro.core.transaction`,
+:mod:`repro.core.transaction_manager`), per-node resource managers
+(:mod:`repro.core.resource_manager`), the network manager
+(:mod:`repro.core.network`), metrics (:mod:`repro.core.metrics`), and the
+top-level :class:`~repro.core.simulation.Simulation` driver.
+"""
+
+from repro.core.audit import Auditor
+from repro.core.config import (
+    DatabaseConfig,
+    ExecutionPattern,
+    PlacementKind,
+    ResourceConfig,
+    SimulationConfig,
+    TransactionClassConfig,
+    WorkloadConfig,
+)
+from repro.core.database import Database, PageId
+from repro.core.metrics import SimulationResult
+from repro.core.simulation import Simulation, run_simulation
+from repro.core.tracing import EventKind, Tracer
+
+__all__ = [
+    "Auditor",
+    "Database",
+    "DatabaseConfig",
+    "EventKind",
+    "ExecutionPattern",
+    "PageId",
+    "PlacementKind",
+    "ResourceConfig",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationResult",
+    "Tracer",
+    "TransactionClassConfig",
+    "WorkloadConfig",
+    "run_simulation",
+]

@@ -1,0 +1,141 @@
+"""Metrics collection and the simulation result record (paper §4.1).
+
+The paper's four main metrics are transaction response time (from
+origination until *successful* completion, restarts included),
+throughput (completion rate), and the response-time and throughput
+speedups derived from them across configurations.  Auxiliary metrics:
+CPU and disk utilizations, the average blocking time (for the locking
+algorithms), and the *abort ratio* — transaction aborts divided by
+transaction commits.
+
+All statistics honour the warmup boundary: the simulation driver calls
+:meth:`MetricsCollector.reset` when warmup ends, so results cover
+steady state only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.stats import BatchMeans, Counter, Tally
+
+__all__ = ["MetricsCollector", "SimulationResult"]
+
+
+class MetricsCollector:
+    """Accumulates transaction-level statistics during a run."""
+
+    def __init__(self, batch_size: int = 25):
+        self.response_times = Tally()
+        self.response_batches = BatchMeans(batch_size=batch_size)
+        self.commits = Counter()
+        self.aborts = Counter()
+        #: Abort counts broken down by reason (wound, local-deadlock,
+        #: global-deadlock, timestamp-reject, certification-failed).
+        self.abort_reasons: Dict[str, int] = {}
+        self.blocking_times = Tally()
+        self.restarts_in_progress = Counter()
+        self._measure_start = 0.0
+
+    def record_commit(self, response_time: float) -> None:
+        """One transaction completed successfully."""
+        self.commits.increment()
+        self.response_times.record(response_time)
+        self.response_batches.record(response_time)
+
+    def record_abort(self, reason: Optional[str] = None) -> None:
+        """One transaction attempt aborted (it will restart)."""
+        self.aborts.increment()
+        key = reason or "unknown"
+        self.abort_reasons[key] = self.abort_reasons.get(key, 0) + 1
+
+    def record_blocking(self, duration: float) -> None:
+        """One concurrency control wait ended after ``duration``."""
+        self.blocking_times.record(duration)
+
+    def reset(self, now: float) -> None:
+        """Discard warmup observations."""
+        self.response_times.reset()
+        self.response_batches.reset()
+        self.commits.reset()
+        self.aborts.reset()
+        self.abort_reasons.clear()
+        self.blocking_times.reset()
+        self._measure_start = now
+
+    def throughput(self, now: float) -> float:
+        """Commits per second over the measurement window."""
+        elapsed = now - self._measure_start
+        if elapsed <= 0.0:
+            return 0.0
+        return self.commits.count / elapsed
+
+    @property
+    def abort_ratio(self) -> float:
+        """Aborts per commit (the paper's abort ratio)."""
+        if self.commits.count == 0:
+            return 0.0
+        return self.aborts.count / self.commits.count
+
+
+@dataclass
+class SimulationResult:
+    """Everything a single simulation run reports."""
+
+    label: str
+    cc_algorithm: str
+    think_time: float
+    num_proc_nodes: int
+    placement_degree: int
+    pages_per_partition: int
+    seed: int
+    measured_duration: float
+    commits: int
+    aborts: int
+    throughput: float
+    mean_response_time: float
+    response_time_ci: Optional[float]
+    abort_ratio: float
+    mean_blocking_time: float
+    blocking_count: int
+    avg_node_cpu_utilization: float
+    avg_disk_utilization: float
+    host_cpu_utilization: float
+    messages_sent: int
+    per_node_cpu_utilization: List[float] = field(default_factory=list)
+    per_node_disk_utilization: List[float] = field(default_factory=list)
+    abort_reasons: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary for tabular reporting."""
+        return {
+            "label": self.label,
+            "cc": self.cc_algorithm,
+            "think_time": self.think_time,
+            "nodes": self.num_proc_nodes,
+            "degree": self.placement_degree,
+            "file_size": self.pages_per_partition,
+            "seed": self.seed,
+            "duration": self.measured_duration,
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "throughput": self.throughput,
+            "response_time": self.mean_response_time,
+            "response_ci": self.response_time_ci,
+            "abort_ratio": self.abort_ratio,
+            "blocking_time": self.mean_blocking_time,
+            "cpu_util": self.avg_node_cpu_utilization,
+            "disk_util": self.avg_disk_utilization,
+            "host_cpu_util": self.host_cpu_utilization,
+            "messages": self.messages_sent,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label}: tput={self.throughput:.3f}/s "
+            f"rt={self.mean_response_time:.3f}s "
+            f"abort_ratio={self.abort_ratio:.3f} "
+            f"disk={self.avg_disk_utilization:.2f} "
+            f"cpu={self.avg_node_cpu_utilization:.2f}"
+        )

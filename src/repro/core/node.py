@@ -1,0 +1,40 @@
+"""Node assembly: a resource manager plus (for processing nodes) a
+concurrency control manager (paper §3, Figure 1).
+
+The host node runs transaction coordinators and the terminals; it has a
+fast CPU but stores no data, so it carries no CC manager.  Each
+processing node stores partitions and runs cohorts against its local CC
+manager.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cc.base import NodeCCManager
+from repro.core.resource_manager import ResourceManager
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One machine node: resources plus optional CC manager."""
+
+    def __init__(
+        self,
+        node_id: int,
+        resources: ResourceManager,
+        cc_manager: Optional[NodeCCManager] = None,
+    ):
+        self.node_id = node_id
+        self.resources = resources
+        self.cc_manager = cc_manager
+
+    @property
+    def is_host(self) -> bool:
+        """Whether this is the host (coordinator/terminal) node."""
+        return self.cc_manager is None
+
+    def __repr__(self) -> str:
+        kind = "host" if self.is_host else "proc"
+        return f"<Node {self.node_id} ({kind})>"

@@ -1,0 +1,543 @@
+"""The transaction manager (paper §2.1, §3.3).
+
+Models the execution of distributed transactions:
+
+* A **terminal** loops: think (exponential), originate a transaction,
+  wait for its successful completion.
+* The **coordinator** runs at the host node.  Per attempt it pays a
+  process-startup CPU cost, sends "load cohort" messages to the
+  processing nodes, waits for cohorts (all at once when parallel, one
+  after another when sequential), then drives a centralized two-phase
+  commit: prepare messages out, votes back, commit messages out, acks
+  back.  The same protocol is used for all concurrency control
+  algorithms.
+* A **cohort** runs at its processing node.  It pays a startup cost,
+  then performs its accesses: each read is a concurrency control
+  request, a disk I/O, and a burst of CPU; each update adds a write
+  request and another CPU burst, with the disk write-back happening
+  asynchronously after commit (``InstPerUpdate`` CPU to initiate).
+
+Aborts travel as messages: whoever decides a transaction must die
+(wound, deadlock victim, timestamp rejection, failed certification)
+notifies the coordinator at the host, which broadcasts abort messages to
+all loaded cohorts and awaits their acknowledgements.  Cohorts keep
+holding locks — and keep burning resources — until the abort message
+reaches their node, which is what makes aborts genuinely expensive under
+8-way parallelism, as the paper stresses.  After aborting, the
+coordinator waits one (exponentially distributed) average observed
+response time before rerunning the same transaction, as in [Agra87a].
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.cc.base import CCAlgorithm, NodeCCManager, RequestResult
+from repro.core.config import SimulationConfig
+from repro.core.database import PageId
+from repro.core.metrics import MetricsCollector
+from repro.core.network import HOST_NODE, NetworkManager
+from repro.core.node import Node
+from repro.core.tracing import EventKind
+from repro.core.transaction import (
+    Cohort,
+    Transaction,
+    TransactionState,
+)
+from repro.core.workload import Source
+from repro.sim.kernel import Environment, Interrupt, Mailbox
+from repro.sim.stats import Tally
+from repro.sim.streams import RandomStreams
+
+__all__ = ["TransactionManager"]
+
+#: Control message verbs delivered to cohort mailboxes.
+_PREPARE = "prepare"
+_COMMIT = "commit"
+
+
+class TransactionManager:
+    """Drives terminals, coordinators, and cohorts."""
+
+    def __init__(
+        self,
+        env: Environment,
+        config: SimulationConfig,
+        host: Node,
+        proc_nodes: List[Node],
+        network: NetworkManager,
+        cc_algorithm: CCAlgorithm,
+        metrics: MetricsCollector,
+        streams: RandomStreams,
+        source: Source,
+        auditor=None,
+        tracer=None,
+    ):
+        self.env = env
+        self.config = config
+        self.host = host
+        self.proc_nodes = proc_nodes
+        self.network = network
+        self.cc_algorithm = cc_algorithm
+        self.metrics = metrics
+        self.streams = streams
+        self.source = source
+        #: Optional serializability auditor (see repro.core.audit).
+        self.auditor = auditor
+        #: Optional lifecycle tracer (see repro.core.tracing).
+        self.tracer = tracer
+        #: Running average of observed response times; drives the
+        #: restart delay.  Deliberately never reset at warmup — it is a
+        #: control variable of the model, not a reported metric.
+        self._observed_response = Tally()
+        self.active_transactions = 0
+
+    # ------------------------------------------------------------------
+    # Terminals
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Launch one process per terminal."""
+        for terminal in range(self.config.workload.num_terminals):
+            self.env.process(
+                self._terminal_loop(terminal),
+                name=f"terminal-{terminal}",
+            )
+
+    def _trace(
+        self,
+        kind,
+        transaction: Transaction,
+        node: Optional[int] = None,
+        detail=None,
+    ) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.env.now,
+                kind,
+                transaction.tid,
+                transaction.attempt,
+                node,
+                detail,
+            )
+
+    def _terminal_loop(self, terminal: int):
+        while True:
+            think = self.source.think_time(terminal)
+            if think > 0.0:
+                yield self.env.timeout(think)
+            spec = self.source.generate(terminal)
+            transaction = Transaction(
+                terminal,
+                self.source.class_of(terminal),
+                spec,
+                self.env.now,
+            )
+            self.active_transactions += 1
+            self._trace(EventKind.ORIGINATED, transaction)
+            yield self.env.process(
+                self._run_transaction(transaction),
+                name=f"txn-{transaction.tid}",
+            )
+            self.active_transactions -= 1
+
+    # ------------------------------------------------------------------
+    # Coordinator
+    # ------------------------------------------------------------------
+
+    def _run_transaction(self, transaction: Transaction):
+        """Run one transaction to successful completion (with restarts)."""
+        while True:
+            self.cc_algorithm.assign_timestamps(
+                transaction, self.env.now
+            )
+            transaction.begin_attempt()
+            self._trace(EventKind.ATTEMPT_STARTED, transaction)
+            committed = yield self.env.process(
+                self._attempt(transaction),
+                name=f"coord-{transaction.tid}.{transaction.attempt}",
+            )
+            if committed:
+                response = self.env.now - transaction.origination_time
+                self.metrics.record_commit(response)
+                self._observed_response.record(response)
+                if self.auditor is not None:
+                    self.auditor.on_committed(transaction)
+                self._trace(
+                    EventKind.COMMITTED, transaction, detail=response
+                )
+                return
+            transaction.num_aborts += 1
+            self.metrics.record_abort(transaction.abort_reason)
+            if self.auditor is not None:
+                self.auditor.on_aborted(transaction)
+            self._trace(
+                EventKind.ABORTED,
+                transaction,
+                detail=transaction.abort_reason,
+            )
+            delay = self._restart_delay()
+            self._trace(
+                EventKind.RESTART_SCHEDULED, transaction, detail=delay
+            )
+            if delay > 0.0:
+                yield self.env.timeout(delay)
+
+    def _restart_delay(self) -> float:
+        """Exponential delay, mean = observed average response time."""
+        if self._observed_response.count:
+            mean = self._observed_response.mean
+        else:
+            mean = self.config.workload.initial_restart_delay
+        return self.streams.exponential("restart-delay", mean)
+
+    def _attempt(self, transaction: Transaction):
+        """One execution attempt; returns True on commit."""
+        env = self.env
+        transaction.abort_event = env.event()
+        # Coordinator process startup at the host.
+        yield from self.host.resources.execute(
+            self.config.resources.inst_per_startup
+        )
+        cohorts = transaction.cohorts
+        for cohort in cohorts:
+            cohort.done_event = env.event()
+            cohort.vote_event = env.event()
+            cohort.commit_ack_event = env.event()
+            cohort.abort_ack_event = env.event()
+            cohort.mailbox = Mailbox(env)
+        # ----- execution phase -----
+        if transaction.parallel:
+            for cohort in cohorts:
+                self._post_load(cohort)
+            all_done = env.all_of(
+                [cohort.done_event for cohort in cohorts]
+            )
+            yield env.any_of([all_done, transaction.abort_event])
+        else:
+            for cohort in cohorts:
+                self._post_load(cohort)
+                yield env.any_of(
+                    [cohort.done_event, transaction.abort_event]
+                )
+                if transaction.abort_pending:
+                    break
+        if transaction.abort_pending:
+            yield from self._abort_protocol(transaction)
+            return False
+        # ----- two-phase commit: phase one -----
+        transaction.state = TransactionState.PREPARING
+        self.cc_algorithm.assign_commit_timestamp(
+            transaction, env.now
+        )
+        for cohort in cohorts:
+            self._trace(
+                EventKind.PREPARE_SENT, transaction, cohort.node
+            )
+            self._post_control(cohort, _PREPARE)
+        all_votes = env.all_of(
+            [cohort.vote_event for cohort in cohorts]
+        )
+        yield env.any_of([all_votes, transaction.abort_event])
+        if transaction.abort_pending:
+            yield from self._abort_protocol(transaction)
+            return False
+        if not all(
+            cohort.vote_event.fired and cohort.vote_event.value
+            for cohort in cohorts
+        ):
+            transaction.mark_abort("certification-failed")
+            yield from self._abort_protocol(transaction)
+            return False
+        # ----- phase two: the decision is final -----
+        transaction.state = TransactionState.COMMITTING
+        for cohort in cohorts:
+            self._post_control(cohort, _COMMIT)
+        yield env.all_of(
+            [cohort.commit_ack_event for cohort in cohorts]
+        )
+        transaction.state = TransactionState.COMMITTED
+        return True
+
+    # ------------------------------------------------------------------
+    # Messages from coordinator to cohorts
+    # ------------------------------------------------------------------
+
+    def _post_load(self, cohort: Cohort) -> None:
+        cohort.load_posted = True
+        self._trace(
+            EventKind.COHORT_LOADED, cohort.transaction, cohort.node
+        )
+        self.network.post(
+            HOST_NODE, cohort.node, self._deliver_load, cohort
+        )
+
+    def _deliver_load(self, cohort: Cohort) -> None:
+        transaction = cohort.transaction
+        if transaction.abort_pending:
+            # An abort raced ahead; the pending ABORT message (queued
+            # behind this one) will clean up and acknowledge.
+            return
+        cohort.started = True
+        self._trace(
+            EventKind.COHORT_STARTED, transaction, cohort.node
+        )
+        cohort.process = self.env.process(
+            self._cohort_body(cohort),
+            name=(
+                f"cohort-{transaction.tid}.{transaction.attempt}"
+                f"@{cohort.node}"
+            ),
+        )
+
+    def _post_control(self, cohort: Cohort, verb: str) -> None:
+        self.network.post(
+            HOST_NODE, cohort.node, self._deliver_control,
+            (cohort, verb),
+        )
+
+    def _deliver_control(
+        self, payload: Tuple[Cohort, str]
+    ) -> None:
+        cohort, verb = payload
+        if cohort.mailbox is not None:
+            cohort.mailbox.put(verb)
+
+    # ------------------------------------------------------------------
+    # Abort path
+    # ------------------------------------------------------------------
+
+    def request_abort(
+        self, transaction: Transaction, reason: str, from_node: int
+    ) -> None:
+        """CC entry point: ask the coordinator to abort ``transaction``.
+
+        The request travels as a message from ``from_node`` to the host
+        (unless it originates at the host itself); state checks repeat
+        at delivery time, so wounds that arrive after the victim entered
+        its second commit phase are correctly non-fatal.
+        """
+        if transaction.abort_pending or not transaction.abortable:
+            return
+        payload = (transaction, reason, transaction.attempt)
+        self.network.post(
+            from_node, HOST_NODE, self._deliver_abort_request, payload
+        )
+
+    def _deliver_abort_request(
+        self, payload: Tuple[Transaction, str, int]
+    ) -> None:
+        transaction, reason, attempt = payload
+        if transaction.attempt != attempt:
+            return  # stale: the transaction already restarted
+        if transaction.abort_pending or not transaction.abortable:
+            return
+        transaction.mark_abort(reason)
+        self._trace(
+            EventKind.ABORT_REQUESTED, transaction, detail=reason
+        )
+        if (
+            transaction.abort_event is not None
+            and not transaction.abort_event.fired
+        ):
+            transaction.abort_event.succeed()
+
+    def _abort_protocol(self, transaction: Transaction):
+        """Broadcast aborts to loaded cohorts; await acknowledgements."""
+        transaction.state = TransactionState.ABORTING
+        posted = [
+            cohort
+            for cohort in transaction.cohorts
+            if cohort.load_posted
+        ]
+        for cohort in posted:
+            self.network.post(
+                HOST_NODE, cohort.node, self._deliver_abort, cohort
+            )
+        if posted:
+            yield self.env.all_of(
+                [cohort.abort_ack_event for cohort in posted]
+            )
+        transaction.state = TransactionState.ABORTED
+
+    def _deliver_abort(self, cohort: Cohort) -> None:
+        if cohort.process is not None and cohort.process.alive:
+            cohort.process.interrupt("abort")
+        manager = self._cc_manager(cohort.node)
+        manager.abort(cohort)
+        self.network.post(
+            cohort.node,
+            HOST_NODE,
+            lambda _payload: cohort.abort_ack_event.succeed(),
+        )
+
+    # ------------------------------------------------------------------
+    # Cohorts
+    # ------------------------------------------------------------------
+
+    def _cc_manager(self, node: int) -> NodeCCManager:
+        manager = self.proc_nodes[node].cc_manager
+        assert manager is not None, "processing node lacks CC manager"
+        return manager
+
+    def _cohort_body(self, cohort: Cohort):
+        transaction = cohort.transaction
+        node = self.proc_nodes[cohort.node]
+        resources = node.resources
+        manager = self._cc_manager(cohort.node)
+        try:
+            # Cohort process startup at the processing node.
+            yield from resources.execute(
+                self.config.resources.inst_per_startup
+            )
+            manager.register_cohort(cohort)
+            for access in cohort.spec.accesses:
+                if access.install_only:
+                    # Write-all leg of a replicated update: write
+                    # permission plus processing, no read, no disk
+                    # read (the content comes from the reading copy).
+                    granted = yield from self._cc_access(
+                        cohort, manager, resources, access.page,
+                        write=True,
+                    )
+                    if not granted:
+                        self._report_local_reject(cohort)
+                        return
+                    yield from resources.execute(
+                        self.source.page_processing_instructions(
+                            transaction.class_config
+                        )
+                    )
+                    continue
+                granted = yield from self._cc_access(
+                    cohort, manager, resources, access.page,
+                    write=False,
+                )
+                if not granted:
+                    self._report_local_reject(cohort)
+                    return
+                yield from resources.disk_read()
+                yield from resources.execute(
+                    self.source.page_processing_instructions(
+                        transaction.class_config
+                    )
+                )
+                if access.is_update:
+                    granted = yield from self._cc_access(
+                        cohort, manager, resources, access.page,
+                        write=True,
+                    )
+                    if not granted:
+                        self._report_local_reject(cohort)
+                        return
+                    yield from resources.execute(
+                        self.source.page_processing_instructions(
+                            transaction.class_config
+                        )
+                    )
+            cohort.finished_work = True
+            self._trace(
+                EventKind.COHORT_DONE, transaction, cohort.node
+            )
+            self.network.post(
+                cohort.node,
+                HOST_NODE,
+                lambda _payload: cohort.done_event.succeed(),
+            )
+            # ----- two-phase commit, participant side -----
+            verb = yield cohort.mailbox.get()
+            assert verb == _PREPARE, f"unexpected control {verb!r}"
+            vote = manager.prepare(cohort)
+            self._trace(
+                EventKind.VOTED, transaction, cohort.node, vote
+            )
+            self.network.post(
+                cohort.node,
+                HOST_NODE,
+                lambda v: cohort.vote_event.succeed(v),
+                vote,
+            )
+            verb = yield cohort.mailbox.get()
+            assert verb == _COMMIT, f"unexpected control {verb!r}"
+            installed = manager.commit(cohort)
+            if self.auditor is not None:
+                self.auditor.on_installed(cohort, installed)
+            yield from self._write_back(resources, installed)
+            self.network.post(
+                cohort.node,
+                HOST_NODE,
+                lambda _payload: cohort.commit_ack_event.succeed(),
+            )
+        except Interrupt:
+            # Aborted by the coordinator: CC cleanup happened (or will
+            # happen) when the abort message was delivered.
+            return
+
+    def _write_back(
+        self, resources, pages: List[PageId]
+    ):
+        """Initiate the asynchronous post-commit disk writes."""
+        for _page in pages:
+            yield from resources.execute(
+                self.config.resources.inst_per_update
+            )
+            resources.initiate_async_write()
+
+    def _cc_access(
+        self,
+        cohort: Cohort,
+        manager: NodeCCManager,
+        resources,
+        page: PageId,
+        write: bool,
+    ):
+        """One concurrency control request; returns True when granted."""
+        if self.config.inst_per_cc_request > 0.0:
+            yield from resources.execute(
+                self.config.inst_per_cc_request
+            )
+        if write:
+            response = manager.write_request(cohort, page)
+        else:
+            response = manager.read_request(cohort, page)
+        if response.result is RequestResult.GRANTED:
+            if not write and self.auditor is not None:
+                self.auditor.on_read_granted(cohort, page)
+            return True
+        if response.result is RequestResult.REJECTED:
+            return False
+        assert response.event is not None
+        blocked_at = self.env.now
+        self._trace(
+            EventKind.BLOCKED,
+            cohort.transaction,
+            cohort.node,
+            page,
+        )
+        outcome = yield response.event
+        self.metrics.record_blocking(self.env.now - blocked_at)
+        self._trace(
+            EventKind.UNBLOCKED,
+            cohort.transaction,
+            cohort.node,
+            outcome,
+        )
+        granted = outcome is RequestResult.GRANTED
+        if granted and not write and self.auditor is not None:
+            self.auditor.on_read_granted(cohort, page)
+        return granted
+
+    def _report_local_reject(self, cohort: Cohort) -> None:
+        """A cohort's own request was rejected: tell the coordinator."""
+        transaction = cohort.transaction
+        payload = (
+            transaction,
+            "timestamp-reject",
+            transaction.attempt,
+        )
+        self.network.post(
+            cohort.node,
+            HOST_NODE,
+            self._deliver_abort_request,
+            payload,
+        )

@@ -1,0 +1,182 @@
+"""The workload source (paper §3.2, Table 2).
+
+The source generates the access specification for each new transaction.
+The paper's workload: 128 terminals attached to the host, divided into
+groups of 16, terminals in each group generating transactions that
+access a common relation.  A transaction touches *every* partition of
+its relation (FileCount = partitions per relation, FileProb uniform),
+reading ``NumPages`` pages per partition on average — the actual count
+drawn uniformly from [mean/2, 3*mean/2] (4..12 for the default 8,
+footnote 12) — and updating each read page with WriteProb.
+
+Crucially, *"the nature of transaction access streams is independent of
+data placement and machine size"* (footnote 8): the same pages are drawn
+regardless of where partitions live, and only the grouping of accesses
+into cohorts changes with placement.  The source therefore draws page
+accesses per partition first and groups them by node afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.config import TransactionClassConfig, WorkloadConfig
+from repro.core.database import Database, PageId
+from repro.core.transaction import AccessSpec, CohortSpec, PageAccess
+from repro.sim.streams import RandomStreams
+
+__all__ = ["Source"]
+
+
+class Source:
+    """Generates per-transaction access specifications for terminals."""
+
+    def __init__(
+        self,
+        config: WorkloadConfig,
+        database: Database,
+        streams: RandomStreams,
+    ):
+        self.config = config
+        self.database = database
+        self.streams = streams
+        self._class_of_terminal = self._assign_classes()
+
+    def _assign_classes(self) -> List[TransactionClassConfig]:
+        """Split terminals between classes by ClassFrac (deterministic)."""
+        assignment: List[TransactionClassConfig] = []
+        remaining = self.config.num_terminals
+        for index, cls in enumerate(self.config.classes):
+            if index == len(self.config.classes) - 1:
+                quota = remaining
+            else:
+                quota = round(cls.terminal_fraction
+                              * self.config.num_terminals)
+                quota = min(quota, remaining)
+            assignment.extend([cls] * quota)
+            remaining -= quota
+        # Rounding may leave terminals unassigned; give them to the
+        # largest class so every terminal generates work.
+        while len(assignment) < self.config.num_terminals:
+            assignment.append(self.config.classes[0])
+        return assignment[: self.config.num_terminals]
+
+    def class_of(self, terminal: int) -> TransactionClassConfig:
+        """The transaction class terminal ``terminal`` generates."""
+        return self._class_of_terminal[terminal]
+
+    def relation_of(self, terminal: int) -> int:
+        """The relation this terminal's group accesses.
+
+        Terminals are split into ``num_relations`` equal groups in
+        terminal order (groups of 16 for the Table 4 defaults).
+        """
+        num_relations = self.database.num_relations
+        return terminal * num_relations // self.config.num_terminals
+
+    def generate(self, terminal: int) -> AccessSpec:
+        """Draw the access specification for a new transaction."""
+        cls = self.class_of(terminal)
+        relation = self.relation_of(terminal)
+        partitions = self._choose_partitions(cls, relation)
+        page_accesses: List[PageAccess] = []
+        for partition in partitions:
+            page_accesses.extend(
+                self._draw_partition_accesses(cls, relation, partition)
+            )
+        placed = self._place_accesses(page_accesses)
+        cohorts = self._group_into_cohorts(placed)
+        return AccessSpec(relation=relation, cohorts=tuple(cohorts))
+
+    def _place_accesses(
+        self, accesses: Sequence[PageAccess]
+    ) -> List[tuple]:
+        """Assign each access to node(s): read-one / write-all.
+
+        Without replication every access goes to the page's single
+        node.  With copies > 1 the read happens at one randomly chosen
+        copy; an update additionally produces an install-only write
+        access at every other copy site.
+        """
+        placed: List[tuple] = []
+        for access in accesses:
+            copy_nodes = self.database.nodes_of_page(access.page)
+            if len(copy_nodes) == 1:
+                placed.append((copy_nodes[0], access))
+                continue
+            read_index = self.streams.uniform_int(
+                "copy-choice", 0, len(copy_nodes) - 1
+            )
+            placed.append((copy_nodes[read_index], access))
+            if access.is_update:
+                for index, node in enumerate(copy_nodes):
+                    if index == read_index:
+                        continue
+                    placed.append(
+                        (
+                            node,
+                            PageAccess(
+                                page=access.page,
+                                is_update=True,
+                                install_only=True,
+                            ),
+                        )
+                    )
+        return placed
+
+    def _choose_partitions(
+        self, cls: TransactionClassConfig, relation: int
+    ) -> Sequence[int]:
+        """FileCount/FileProb: which partitions the transaction touches."""
+        total = self.database.config.partitions_per_relation
+        count = min(cls.file_count, total)
+        if count == total:
+            return range(total)
+        chosen = self.streams.sample_without_replacement(
+            "file-choice", total, count
+        )
+        return sorted(chosen)
+
+    def _draw_partition_accesses(
+        self, cls: TransactionClassConfig, relation: int, partition: int
+    ) -> List[PageAccess]:
+        """Draw the page reads (and update flags) for one partition."""
+        num_pages = self.streams.uniform_int(
+            "page-count", cls.min_pages_per_file, cls.max_pages_per_file
+        )
+        num_pages = min(num_pages, self.database.pages_per_partition)
+        page_indices = self.streams.sample_without_replacement(
+            "page-choice", self.database.pages_per_partition, num_pages
+        )
+        accesses = []
+        for index in page_indices:
+            page = PageId(relation, partition, index)
+            is_update = self.streams.bernoulli(
+                "write-coin", cls.write_probability
+            )
+            accesses.append(PageAccess(page=page, is_update=is_update))
+        return accesses
+
+    def _group_into_cohorts(
+        self, placed: Sequence[tuple]
+    ) -> List[CohortSpec]:
+        """Group (node, access) pairs into one cohort per node."""
+        by_node: dict[int, List[PageAccess]] = {}
+        for node, access in placed:
+            by_node.setdefault(node, []).append(access)
+        return [
+            CohortSpec(node=node, accesses=tuple(node_accesses))
+            for node, node_accesses in sorted(by_node.items())
+        ]
+
+    def think_time(self, terminal: int) -> float:
+        """Draw an exponential think time (0 when the mean is 0)."""
+        return self.streams.exponential(
+            f"think-{terminal}", self.config.think_time
+        )
+
+    def page_processing_instructions(
+        self, cls: TransactionClassConfig
+    ) -> float:
+        """Exponential per-page instruction count (mean InstPerPage)."""
+        return self.streams.exponential("inst-per-page", cls.inst_per_page)

@@ -1,0 +1,30 @@
+"""Experiment harness regenerating every table and figure (paper §4).
+
+Each experiment module exposes functions named after the paper's
+figures (``figure2`` ... ``figure17``) plus the textual ablations; all
+of them take a :class:`~repro.experiments.fidelity.Fidelity` and return
+:class:`~repro.analysis.series.FigureSeries` ready for printing.
+
+The :mod:`~repro.experiments.runner` memoizes simulation runs within the
+process, so the figures that share a sweep (2-7 share one, 8-13 share
+another) pay for it once.
+
+Command line::
+
+    python -m repro.experiments list
+    python -m repro.experiments run fig2 fig4 --fidelity quick
+    python -m repro.experiments run all --fidelity full
+"""
+
+from repro.experiments.fidelity import Fidelity
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.runner import clear_cache, run_config, sweep
+
+__all__ = [
+    "EXPERIMENTS",
+    "Fidelity",
+    "clear_cache",
+    "get_experiment",
+    "run_config",
+    "sweep",
+]

@@ -1,0 +1,104 @@
+"""Exporting figures and raw results to CSV / JSON.
+
+The CLI's ``--csv``/``--json`` flags use these to persist experiment
+output in machine-readable form alongside the human-readable tables, so
+downstream analysis (spreadsheets, notebooks, regression tracking) does
+not have to re-parse text tables.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Iterable, List
+
+from repro.analysis.series import FigureSeries
+from repro.core.metrics import SimulationResult
+
+__all__ = [
+    "figure_to_csv",
+    "figure_to_dict",
+    "figures_to_json",
+    "results_to_csv",
+    "write_figures",
+]
+
+
+def figure_to_csv(series: FigureSeries) -> str:
+    """One figure as CSV: x column plus one column per curve."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    names = list(series.curves)
+    writer.writerow([series.x_label] + names)
+    for index, x in enumerate(series.x_values):
+        row: List[object] = [x]
+        for name in names:
+            value = series.curves[name][index]
+            row.append("" if value is None else value)
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def figure_to_dict(series: FigureSeries) -> dict:
+    """One figure as a JSON-ready dictionary."""
+    return {
+        "title": series.title,
+        "x_label": series.x_label,
+        "y_label": series.y_label,
+        "x_values": list(series.x_values),
+        "curves": {
+            name: list(values)
+            for name, values in series.curves.items()
+        },
+    }
+
+
+def figures_to_json(figures: Iterable[FigureSeries]) -> str:
+    """A list of figures as a JSON document."""
+    return json.dumps(
+        [figure_to_dict(figure) for figure in figures], indent=2
+    )
+
+
+def results_to_csv(results: Iterable[SimulationResult]) -> str:
+    """Raw simulation results as CSV (one row per run)."""
+    rows = [result.as_dict() for result in results]
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0]))
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_figures(
+    figures: Iterable[FigureSeries],
+    directory: Path,
+    stem: str,
+    csv_output: bool = False,
+    json_output: bool = False,
+) -> List[Path]:
+    """Write CSV and/or JSON files for an experiment's figures.
+
+    Returns the paths written.  CSV gets one file per figure
+    (``<stem>.csv``, ``<stem>.2.csv``, ...); JSON one file holding the
+    whole list.
+    """
+    directory.mkdir(parents=True, exist_ok=True)
+    figures = list(figures)
+    written: List[Path] = []
+    if csv_output:
+        for index, figure in enumerate(figures):
+            suffix = "" if index == 0 else f".{index + 1}"
+            path = directory / f"{stem}{suffix}.csv"
+            path.write_text(figure_to_csv(figure), encoding="utf-8")
+            written.append(path)
+    if json_output:
+        path = directory / f"{stem}.json"
+        path.write_text(figures_to_json(figures), encoding="utf-8")
+        written.append(path)
+    return written

@@ -1,0 +1,119 @@
+"""Fidelity presets: how long and how finely to simulate.
+
+Full-length sweeps of all 17 figures take tens of minutes of pure-Python
+simulation; the benchmark suite defaults to a reduced but
+trend-preserving fidelity.  ``REPRO_FIDELITY=full`` (or ``quick``,
+``smoke``) switches the preset globally for the benchmarks.
+
+* ``smoke`` — seconds per figure; for CI wiring tests only.
+* ``quick`` — the default: every figure in roughly a minute or two,
+  shapes intact, visible noise at the lightly loaded end.
+* ``full``  — the EXPERIMENTS.md setting: long windows, commit targets,
+  a dense think-time grid.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+__all__ = ["Fidelity"]
+
+
+@dataclass(frozen=True)
+class Fidelity:
+    """Run-length and sweep-density settings for experiments."""
+
+    name: str
+    duration: float
+    warmup: float
+    target_commits: int
+    max_duration: float
+    think_times: Tuple[float, ...]
+    seed: int = 42
+
+    @classmethod
+    def smoke(cls) -> "Fidelity":
+        """Seconds-per-figure wiring check."""
+        return cls(
+            name="smoke",
+            duration=10.0,
+            warmup=5.0,
+            target_commits=0,
+            max_duration=10.0,
+            think_times=(0.0, 24.0, 96.0),
+        )
+
+    @classmethod
+    def quick(cls) -> "Fidelity":
+        """Default: trend-preserving, a minute or two per figure."""
+        return cls(
+            name="quick",
+            duration=60.0,
+            warmup=20.0,
+            target_commits=250,
+            max_duration=600.0,
+            think_times=(0.0, 8.0, 24.0, 48.0, 72.0, 96.0, 120.0),
+        )
+
+    @classmethod
+    def bench(cls) -> "Fidelity":
+        """Benchmark default: a sparser grid than quick, still
+        commit-targeted so heavily loaded points aren't truncated."""
+        return cls(
+            name="bench",
+            duration=40.0,
+            warmup=15.0,
+            target_commits=150,
+            max_duration=400.0,
+            think_times=(0.0, 8.0, 24.0, 48.0, 96.0),
+        )
+
+    @classmethod
+    def full(cls) -> "Fidelity":
+        """EXPERIMENTS.md setting: long windows, dense grid."""
+        return cls(
+            name="full",
+            duration=150.0,
+            warmup=50.0,
+            target_commits=1500,
+            max_duration=2400.0,
+            think_times=(
+                0.0, 4.0, 8.0, 12.0, 16.0, 24.0, 32.0,
+                48.0, 64.0, 80.0, 96.0, 120.0,
+            ),
+        )
+
+    @classmethod
+    def from_env(cls, default: str = "quick") -> "Fidelity":
+        """Resolve the preset named by ``$REPRO_FIDELITY``."""
+        name = os.environ.get("REPRO_FIDELITY", default).lower()
+        presets = {
+            "smoke": cls.smoke,
+            "quick": cls.quick,
+            "bench": cls.bench,
+            "full": cls.full,
+        }
+        if name not in presets:
+            known = ", ".join(sorted(presets))
+            raise ValueError(
+                f"unknown fidelity {name!r}; known: {known}"
+            )
+        return presets[name]()
+
+    def with_think_times(
+        self, think_times: Tuple[float, ...]
+    ) -> "Fidelity":
+        """A copy sweeping a different think-time grid."""
+        return replace(self, think_times=think_times)
+
+    def apply(self, config):
+        """Stamp run-control fields onto a SimulationConfig."""
+        return config.with_(
+            duration=self.duration,
+            warmup=self.warmup,
+            target_commits=self.target_commits,
+            max_duration=self.max_duration,
+            seed=self.seed,
+        )

@@ -1,0 +1,193 @@
+"""Experiment §4.4: the effect of system overheads.
+
+Eight processing nodes, smaller database (300 pages/partition); the
+degree of partitioning sweeps 1-, 2-, 4-, and 8-way, and the message /
+process-startup CPU overheads vary.  The reported quantity is the
+response-time speedup of d-way partitioning relative to 1-way at a
+fixed think time.  Regenerates Figures 14-17 plus the two textual
+ablations:
+
+* Figure 14 — zero overheads (InstPerStartup=0, InstPerMsg=0), think 0.
+* Figure 15 — zero overheads, think 8 s.
+* Figure 16 — InstPerMsg=4K, think 0.
+* Figure 17 — InstPerMsg=4K, think 8 s.
+* baseline-overheads ablation — the paper's standard 2K/1K costs
+  ("very similar to Figures 14 and 15").
+* startup-cost ablation — InstPerMsg=0, InstPerStartup=20K ("very close
+  to Figures 16 and 17", limited by process initiation cost).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.series import FigureSeries
+from repro.core.config import (
+    PlacementKind,
+    SimulationConfig,
+    paper_default_config,
+)
+from repro.core.metrics import SimulationResult
+from repro.experiments.fidelity import Fidelity
+from repro.experiments.runner import run_config
+from repro.experiments.scaling import ALGORITHMS
+
+__all__ = [
+    "DEGREES",
+    "figure14",
+    "figure15",
+    "figure16",
+    "figure17",
+    "overhead_config",
+    "overhead_speedup_series",
+    "startup_cost_ablation",
+    "baseline_overheads_ablation",
+]
+
+DEGREES = (1, 2, 4, 8)
+
+
+def overhead_config(
+    fidelity: Fidelity,
+    algorithm: str,
+    think_time: float,
+    degree: int,
+    inst_per_startup: float,
+    inst_per_msg: float,
+) -> SimulationConfig:
+    """The §4.4 configuration for one design point."""
+    if degree == 1:
+        placement = PlacementKind.COLOCATED
+    else:
+        placement = PlacementKind.DECLUSTERED
+    config = paper_default_config(
+        algorithm,
+        think_time=think_time,
+        num_proc_nodes=8,
+        pages_per_partition=300,
+        placement=placement,
+        placement_degree=degree,
+        seed=fidelity.seed,
+    )
+    config = config.with_resources(
+        inst_per_startup=inst_per_startup,
+        inst_per_msg=inst_per_msg,
+    )
+    return fidelity.apply(config)
+
+
+def overhead_speedup_series(
+    fidelity: Fidelity,
+    think_time: float,
+    inst_per_startup: float,
+    inst_per_msg: float,
+    title: str,
+) -> FigureSeries:
+    """Response-time speedup vs degree of partitioning."""
+    results: Dict[Tuple[str, int], SimulationResult] = {}
+    for algorithm in ALGORITHMS:
+        for degree in DEGREES:
+            results[(algorithm, degree)] = run_config(
+                overhead_config(
+                    fidelity, algorithm, think_time, degree,
+                    inst_per_startup, inst_per_msg,
+                )
+            )
+    series = FigureSeries(
+        title=title,
+        x_label="degree",
+        y_label="response-time speedup vs 1-way",
+        x_values=[float(degree) for degree in DEGREES],
+    )
+    for algorithm in ALGORITHMS:
+        base = results[(algorithm, 1)].mean_response_time
+        curve = []
+        for degree in DEGREES:
+            response = results[(algorithm, degree)].mean_response_time
+            curve.append(base / response if response > 0 else None)
+        series.add_curve(algorithm, curve)
+    return series
+
+
+def figure14(fidelity: Fidelity) -> List[FigureSeries]:
+    """Zero overheads, think time 0 (heaviest load)."""
+    return [
+        overhead_speedup_series(
+            fidelity, 0.0, 0.0, 0.0,
+            "Figure 14: Speedup vs partitioning, no overheads, "
+            "think 0s",
+        )
+    ]
+
+
+def figure15(fidelity: Fidelity) -> List[FigureSeries]:
+    """Zero overheads, think time 8 s."""
+    return [
+        overhead_speedup_series(
+            fidelity, 8.0, 0.0, 0.0,
+            "Figure 15: Speedup vs partitioning, no overheads, "
+            "think 8s",
+        )
+    ]
+
+
+def figure16(fidelity: Fidelity) -> List[FigureSeries]:
+    """Expensive messages (4K instructions/end), think time 0."""
+    return [
+        overhead_speedup_series(
+            fidelity, 0.0, 0.0, 4_000.0,
+            "Figure 16: Speedup vs partitioning, InstPerMsg=4K, "
+            "think 0s",
+        )
+    ]
+
+
+def figure17(fidelity: Fidelity) -> List[FigureSeries]:
+    """Expensive messages, think time 8 s."""
+    return [
+        overhead_speedup_series(
+            fidelity, 8.0, 0.0, 4_000.0,
+            "Figure 17: Speedup vs partitioning, InstPerMsg=4K, "
+            "think 8s",
+        )
+    ]
+
+
+def baseline_overheads_ablation(
+    fidelity: Fidelity,
+) -> List[FigureSeries]:
+    """The standard 2K-startup/1K-message costs at both think times.
+
+    The paper reports these "very similar to those of Figures 14 and
+    15", which is why the main experiments use them throughout.
+    """
+    return [
+        overhead_speedup_series(
+            fidelity, 0.0, 2_000.0, 1_000.0,
+            "Ablation: standard overheads (2K startup, 1K msg), "
+            "think 0s",
+        ),
+        overhead_speedup_series(
+            fidelity, 8.0, 2_000.0, 1_000.0,
+            "Ablation: standard overheads (2K startup, 1K msg), "
+            "think 8s",
+        ),
+    ]
+
+
+def startup_cost_ablation(fidelity: Fidelity) -> List[FigureSeries]:
+    """Heavyweight processes: InstPerMsg=0, InstPerStartup=20K.
+
+    The paper reports results "very close to those of Figures 16 and
+    17", with process initiation cost the factor limiting speedup.
+    """
+    return [
+        overhead_speedup_series(
+            fidelity, 0.0, 20_000.0, 0.0,
+            "Ablation: InstPerStartup=20K, no message cost, think 0s",
+        ),
+        overhead_speedup_series(
+            fidelity, 8.0, 20_000.0, 0.0,
+            "Ablation: InstPerStartup=20K, no message cost, think 8s",
+        ),
+    ]

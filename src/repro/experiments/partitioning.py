@@ -1,0 +1,223 @@
+"""Experiment §4.3: the impact of parallelism at fixed machine size.
+
+Eight processing nodes throughout; the *placement* of partitions varies
+between 1-way (each relation colocated at one node — sequential, single
+cohort) and 8-way (each relation declustered over all nodes — eight
+parallel cohorts).  Both database sizes are used: 1200 pages/partition
+(the "larger" database, mild contention) and 300 pages/partition (the
+"smaller", contended one).  Regenerates Figures 8-13:
+
+* Figure 8  — response-time speedup of 8-way over 1-way, larger DB.
+* Figure 9  — same, smaller DB.
+* Figure 10 — % response-time degradation vs NO_DC, 8-way, smaller DB.
+* Figure 11 — same, 1-way.
+* Figure 12 — abort ratio, 8-way, smaller DB.
+* Figure 13 — abort ratio, 1-way, smaller DB.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.series import FigureSeries
+from repro.analysis.speedup import percent_degradation, ratio_series
+from repro.core.config import (
+    PlacementKind,
+    SimulationConfig,
+    paper_default_config,
+)
+from repro.core.metrics import SimulationResult
+from repro.experiments.fidelity import Fidelity
+from repro.experiments.runner import sweep
+from repro.experiments.scaling import ALGORITHMS
+
+__all__ = [
+    "LARGE_DB_PAGES",
+    "SMALL_DB_PAGES",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "partitioning_config",
+    "partitioning_sweep",
+]
+
+SMALL_DB_PAGES = 300
+LARGE_DB_PAGES = 1200
+
+SweepResults = Dict[Tuple[str, float], SimulationResult]
+
+
+def partitioning_config(
+    fidelity: Fidelity,
+    algorithm: str,
+    think_time: float,
+    degree: int,
+    pages_per_partition: int,
+) -> SimulationConfig:
+    """The §4.3 configuration for one (algorithm, load, degree) point."""
+    if degree == 1:
+        placement = PlacementKind.COLOCATED
+    else:
+        placement = PlacementKind.DECLUSTERED
+    config = paper_default_config(
+        algorithm,
+        think_time=think_time,
+        num_proc_nodes=8,
+        pages_per_partition=pages_per_partition,
+        placement=placement,
+        placement_degree=degree,
+        seed=fidelity.seed,
+    )
+    return fidelity.apply(config)
+
+
+def partitioning_sweep(
+    fidelity: Fidelity, degree: int, pages_per_partition: int
+) -> SweepResults:
+    """All algorithms over the think-time grid at one placement."""
+    return sweep(
+        ALGORITHMS,
+        fidelity.think_times,
+        lambda algorithm, think_time: partitioning_config(
+            fidelity, algorithm, think_time, degree,
+            pages_per_partition,
+        ),
+    )
+
+
+def _collect(
+    fidelity: Fidelity, results: SweepResults, metric: str
+) -> Dict[str, List[float]]:
+    return {
+        algorithm: [
+            getattr(results[(algorithm, tt)], metric)
+            for tt in fidelity.think_times
+        ]
+        for algorithm in ALGORITHMS
+    }
+
+
+def _partition_speedup(
+    fidelity: Fidelity, pages: int, title: str
+) -> FigureSeries:
+    one_way = partitioning_sweep(fidelity, 1, pages)
+    eight_way = partitioning_sweep(fidelity, 8, pages)
+    rt_one = _collect(fidelity, one_way, "mean_response_time")
+    rt_eight = _collect(fidelity, eight_way, "mean_response_time")
+    series = FigureSeries(
+        title=title,
+        x_label="think(s)",
+        y_label="response-time speedup (1-way rt / 8-way rt)",
+        x_values=list(fidelity.think_times),
+    )
+    for algorithm in ALGORITHMS:
+        series.add_curve(
+            algorithm,
+            ratio_series(rt_one[algorithm], rt_eight[algorithm]),
+        )
+    return series
+
+
+def figure8(fidelity: Fidelity) -> List[FigureSeries]:
+    """8-way vs 1-way response-time speedup, larger database."""
+    return [
+        _partition_speedup(
+            fidelity, LARGE_DB_PAGES,
+            "Figure 8: Partitioning speedup, larger DB "
+            "(1200 pages/partition)",
+        )
+    ]
+
+
+def figure9(fidelity: Fidelity) -> List[FigureSeries]:
+    """8-way vs 1-way response-time speedup, smaller database."""
+    return [
+        _partition_speedup(
+            fidelity, SMALL_DB_PAGES,
+            "Figure 9: Partitioning speedup, smaller DB "
+            "(300 pages/partition)",
+        )
+    ]
+
+
+def _degradation(
+    fidelity: Fidelity, degree: int, title: str
+) -> FigureSeries:
+    results = partitioning_sweep(fidelity, degree, SMALL_DB_PAGES)
+    response = _collect(fidelity, results, "mean_response_time")
+    baseline = response["no_dc"]
+    series = FigureSeries(
+        title=title,
+        x_label="think(s)",
+        y_label="% response-time degradation vs NO_DC",
+        x_values=list(fidelity.think_times),
+    )
+    for algorithm in ALGORITHMS:
+        if algorithm == "no_dc":
+            continue
+        series.add_curve(
+            algorithm,
+            percent_degradation(response[algorithm], baseline),
+        )
+    return series
+
+
+def figure10(fidelity: Fidelity) -> List[FigureSeries]:
+    """% response-time degradation vs NO_DC, 8-way partitioning."""
+    return [
+        _degradation(
+            fidelity, 8,
+            "Figure 10: Response-time degradation, 8-way, smaller DB",
+        )
+    ]
+
+
+def figure11(fidelity: Fidelity) -> List[FigureSeries]:
+    """% response-time degradation vs NO_DC, no partitioning."""
+    return [
+        _degradation(
+            fidelity, 1,
+            "Figure 11: Response-time degradation, 1-way, smaller DB",
+        )
+    ]
+
+
+def _abort_ratio(
+    fidelity: Fidelity, degree: int, title: str
+) -> FigureSeries:
+    results = partitioning_sweep(fidelity, degree, SMALL_DB_PAGES)
+    ratios = _collect(fidelity, results, "abort_ratio")
+    series = FigureSeries(
+        title=title,
+        x_label="think(s)",
+        y_label="aborts per commit",
+        x_values=list(fidelity.think_times),
+    )
+    for algorithm in ALGORITHMS:
+        if algorithm == "no_dc":
+            continue
+        series.add_curve(algorithm, ratios[algorithm])
+    return series
+
+
+def figure12(fidelity: Fidelity) -> List[FigureSeries]:
+    """Abort ratios, 8-way partitioning, smaller database."""
+    return [
+        _abort_ratio(
+            fidelity, 8,
+            "Figure 12: Abort ratio, 8-way, smaller DB",
+        )
+    ]
+
+
+def figure13(fidelity: Fidelity) -> List[FigureSeries]:
+    """Abort ratios, 1-way placement, smaller database."""
+    return [
+        _abort_ratio(
+            fidelity, 1,
+            "Figure 13: Abort ratio, 1-way, smaller DB",
+        )
+    ]

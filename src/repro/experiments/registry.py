@@ -1,0 +1,164 @@
+"""Registry mapping experiment ids to their figure generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.analysis.series import FigureSeries
+from repro.experiments import ablations, overheads, partitioning, \
+    replication, scaling, sensitivity
+from repro.experiments.fidelity import Fidelity
+
+__all__ = ["EXPERIMENTS", "Experiment", "get_experiment"]
+
+FigureFunc = Callable[[Fidelity], List[FigureSeries]]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One regenerable experiment (a paper figure or ablation)."""
+
+    id: str
+    description: str
+    run: FigureFunc
+
+
+_DEFINITIONS = [
+    Experiment(
+        "fig2", "Throughput vs think time, 1- and 8-node (§4.2)",
+        scaling.figure2,
+    ),
+    Experiment(
+        "fig3", "Response time vs think time, 1- and 8-node (§4.2)",
+        scaling.figure3,
+    ),
+    Experiment(
+        "fig4", "Throughput speedup, 8-node over 1-node (§4.2)",
+        scaling.figure4,
+    ),
+    Experiment(
+        "fig5", "Response-time speedup, 8-node over 1-node (§4.2)",
+        scaling.figure5,
+    ),
+    Experiment(
+        "fig6", "Disk utilizations, 1- and 8-node (§4.2)",
+        scaling.figure6,
+    ),
+    Experiment(
+        "fig7", "CPU utilizations, 1- and 8-node (§4.2)",
+        scaling.figure7,
+    ),
+    Experiment(
+        "scaling4", "4-node speedup variant from the §4.2 text",
+        scaling.scaling_speedups_4node,
+    ),
+    Experiment(
+        "scaling16",
+        "16-node, 128-read-transaction variant (§4.1 footnote 7)",
+        scaling.scaling_speedups_16node,
+    ),
+    Experiment(
+        "fig8", "Partitioning speedup, larger DB (§4.3)",
+        partitioning.figure8,
+    ),
+    Experiment(
+        "fig9", "Partitioning speedup, smaller DB (§4.3)",
+        partitioning.figure9,
+    ),
+    Experiment(
+        "fig10", "Response-time degradation, 8-way (§4.3)",
+        partitioning.figure10,
+    ),
+    Experiment(
+        "fig11", "Response-time degradation, 1-way (§4.3)",
+        partitioning.figure11,
+    ),
+    Experiment(
+        "fig12", "Abort ratio, 8-way (§4.3)", partitioning.figure12,
+    ),
+    Experiment(
+        "fig13", "Abort ratio, 1-way (§4.3)", partitioning.figure13,
+    ),
+    Experiment(
+        "fig14", "Speedup vs degree, no overheads, think 0 (§4.4)",
+        overheads.figure14,
+    ),
+    Experiment(
+        "fig15", "Speedup vs degree, no overheads, think 8 (§4.4)",
+        overheads.figure15,
+    ),
+    Experiment(
+        "fig16", "Speedup vs degree, 4K messages, think 0 (§4.4)",
+        overheads.figure16,
+    ),
+    Experiment(
+        "fig17", "Speedup vs degree, 4K messages, think 8 (§4.4)",
+        overheads.figure17,
+    ),
+    Experiment(
+        "overheads-baseline",
+        "Standard 2K/1K overheads at degrees 1-8 (§4.4 text)",
+        overheads.baseline_overheads_ablation,
+    ),
+    Experiment(
+        "startup20k",
+        "InstPerStartup=20K ablation (§4.4 text)",
+        overheads.startup_cost_ablation,
+    ),
+    Experiment(
+        "txn32", "32-read transaction ablation (§4.2 footnote 9)",
+        ablations.small_transactions,
+    ),
+    Experiment(
+        "seq-vs-par",
+        "Sequential (RPC) vs parallel cohort execution (§3.3)",
+        ablations.sequential_vs_parallel,
+    ),
+    Experiment(
+        "writeprob",
+        "WriteProb 1/8 vs 1/4 — the paper's Table 4 contradiction",
+        ablations.write_probability_ablation,
+    ),
+    Experiment(
+        "spectrum",
+        "Extension: all 7 algorithms across the blocking/restart "
+        "spectrum",
+        ablations.algorithm_spectrum,
+    ),
+    Experiment(
+        "host-speed",
+        "Sensitivity: host CPU speed (the §4.1 'won't limit' claim)",
+        sensitivity.host_speed_sensitivity,
+    ),
+    Experiment(
+        "detection-interval",
+        "Sensitivity: Snoop interval for 2PL (footnote 2)",
+        sensitivity.detection_interval_sensitivity,
+    ),
+    Experiment(
+        "terminals",
+        "Sensitivity: multiprogramming level (thrashing hill)",
+        sensitivity.terminal_sweep,
+    ),
+    Experiment(
+        "replication",
+        "Extension: replicated data x message cost (footnote 13)",
+        replication.replication_experiment,
+    ),
+]
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    experiment.id: experiment for experiment in _DEFINITIONS
+}
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up an experiment by id (e.g. "fig9")."""
+    experiment = EXPERIMENTS.get(experiment_id.lower())
+    if experiment is None:
+        known = ", ".join(EXPERIMENTS)
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        )
+    return experiment

@@ -1,0 +1,48 @@
+"""Simulation sweep runner with per-process memoization.
+
+Figures 2-7 are different views of one machine-size sweep, and figures
+8-13 of one partitioning sweep; the memo cache means each underlying
+simulation runs once per process regardless of how many figures ask for
+it.  Configurations are frozen dataclasses and therefore hashable, so
+the cache key is the configuration itself.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Sequence, Tuple
+
+from repro.core.config import SimulationConfig
+from repro.core.metrics import SimulationResult
+from repro.core.simulation import Simulation
+
+__all__ = ["clear_cache", "run_config", "sweep"]
+
+_CACHE: Dict[SimulationConfig, SimulationResult] = {}
+
+
+def run_config(config: SimulationConfig) -> SimulationResult:
+    """Run (or fetch the memoized result of) one configuration."""
+    result = _CACHE.get(config)
+    if result is None:
+        result = Simulation(config).run()
+        _CACHE[config] = result
+    return result
+
+
+def clear_cache() -> None:
+    """Drop all memoized results (tests use this for isolation)."""
+    _CACHE.clear()
+
+
+def sweep(
+    algorithms: Sequence[str],
+    think_times: Iterable[float],
+    config_factory: Callable[[str, float], SimulationConfig],
+) -> Dict[Tuple[str, float], SimulationResult]:
+    """Run ``config_factory(algorithm, think_time)`` over the grid."""
+    results: Dict[Tuple[str, float], SimulationResult] = {}
+    for algorithm in algorithms:
+        for think_time in think_times:
+            config = config_factory(algorithm, think_time)
+            results[(algorithm, think_time)] = run_config(config)
+    return results

@@ -1,0 +1,47 @@
+"""Discrete-event simulation substrate.
+
+The paper's simulator was written in DeNet, a Modula-2 based simulation
+language.  DeNet is unavailable (and so is SimPy in this offline
+environment), so this subpackage implements the discrete-event kernel from
+scratch: a generator-coroutine process model (:mod:`repro.sim.kernel`),
+the resource disciplines the paper's resource manager needs — a
+processor-sharing CPU with priority FIFO message service and FIFO disks
+with write-over-read priority (:mod:`repro.sim.resources`) — independent
+random-number streams (:mod:`repro.sim.streams`), and the statistics
+collectors used by the metrics layer (:mod:`repro.sim.stats`).
+"""
+
+from repro.sim.kernel import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Mailbox,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.resources import CPU, Disk, DiskRequestKind
+from repro.sim.stats import BatchMeans, Counter, Tally, TimeWeighted
+from repro.sim.streams import RandomStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "BatchMeans",
+    "CPU",
+    "Counter",
+    "Disk",
+    "DiskRequestKind",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Mailbox",
+    "Process",
+    "RandomStreams",
+    "SimulationError",
+    "Tally",
+    "Timeout",
+    "TimeWeighted",
+]

@@ -1,0 +1,540 @@
+"""A generator-coroutine discrete-event simulation kernel.
+
+This is the substrate standing in for DeNet, the Modula-2 simulation
+language the paper used.  The model is deliberately SimPy-like:
+
+* An :class:`Environment` owns the simulation clock and the event heap.
+* A *process* is a Python generator.  It advances by ``yield``-ing
+  *waitables* — :class:`Timeout`, :class:`Event`, another
+  :class:`Process`, or the combinators :class:`AllOf` / :class:`AnyOf` —
+  and is resumed when the waitable fires.
+* A process can be interrupted: :meth:`Process.interrupt` throws
+  :class:`Interrupt` into the generator at its current yield point.  The
+  transaction manager uses this to abort cohorts that are blocked inside
+  the concurrency control manager or busy at a resource.
+
+The kernel is intentionally small, but it is exact: events at equal
+simulated times fire in schedule order (FIFO tie-breaking), canceled
+timers never fire, and waitable bookkeeping is cleaned up on interrupt so
+that no process is ever resumed twice.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Mailbox",
+    "Process",
+    "ScheduledCallback",
+    "SimulationError",
+    "Timeout",
+    "Waitable",
+]
+
+#: The generator type driven by the kernel.  The values sent back into the
+#: generator are whatever the waitable resolved to.
+ProcessGenerator = Generator["Waitable", Any, Any]
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (e.g. waiting on a consumed event twice)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`.
+
+    ``cause`` carries an arbitrary payload describing why the process was
+    interrupted (the transaction manager passes the abort reason).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class ScheduledCallback:
+    """Handle for a callback placed on the event heap.
+
+    The heap is append-only; cancellation just flips a flag and the entry
+    is discarded when popped.
+    """
+
+    __slots__ = ("time", "callback", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[[], None]):
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running; safe to call repeatedly."""
+        self.cancelled = True
+
+
+class Waitable:
+    """Base class for things a process may ``yield``."""
+
+    __slots__ = ()
+
+    def _subscribe(self, process: "Process") -> None:
+        raise NotImplementedError
+
+    def _unsubscribe(self, process: "Process") -> None:
+        raise NotImplementedError
+
+
+class Event(Waitable):
+    """A one-shot event that processes can wait on.
+
+    The event starts pending; :meth:`succeed` fires it with a value and
+    wakes every waiter.  Waiting on an already-fired event resumes the
+    waiter immediately (on the next scheduler step at the current time).
+    """
+
+    __slots__ = ("env", "_fired", "_value", "_waiters")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self._fired = False
+        self._value: Any = None
+        self._waiters: list[Process] = []
+
+    @property
+    def fired(self) -> bool:
+        """Whether :meth:`succeed` has been called."""
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with (``None`` while pending)."""
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event, waking all current waiters with ``value``.
+
+        Delivery is *deferred* to the next scheduler step at the current
+        time: firing an event never reenters the caller, so resource and
+        concurrency control managers can fire grant events while
+        iterating over their own state.
+        """
+        if self._fired:
+            raise SimulationError("event already fired")
+        self._fired = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self._deliver(process)
+        return self
+
+    def _deliver(self, process: "Process") -> None:
+        def run() -> None:
+            # The waiter may have been interrupted (and moved on) between
+            # the fire and this delivery; only resume if it still waits
+            # on this event.
+            if process._alive and process._waiting_on is self:
+                process._resume(self._value)
+
+        self.env.schedule(0.0, run)
+
+    def _subscribe(self, process: "Process") -> None:
+        if self._fired:
+            self._deliver(process)
+        else:
+            self._waiters.append(process)
+
+    def _unsubscribe(self, process: "Process") -> None:
+        try:
+            self._waiters.remove(process)
+        except ValueError:
+            pass
+
+
+class Timeout(Waitable):
+    """Delay waitable; resumes the waiting process after ``delay``."""
+
+    __slots__ = ("env", "delay", "value", "_handles")
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        self.env = env
+        self.delay = delay
+        self.value = value
+        self._handles: dict[int, ScheduledCallback] = {}
+
+    def _subscribe(self, process: "Process") -> None:
+        handle = self.env.schedule(
+            self.delay, lambda: self._fire(process)
+        )
+        self._handles[id(process)] = handle
+
+    def _fire(self, process: "Process") -> None:
+        self._handles.pop(id(process), None)
+        if process._alive and process._waiting_on is self:
+            process._resume(self.value)
+
+    def _unsubscribe(self, process: "Process") -> None:
+        handle = self._handles.pop(id(process), None)
+        if handle is not None:
+            handle.cancel()
+
+
+class Process(Waitable):
+    """A running generator, driven by the environment.
+
+    A process is itself waitable: yielding a process waits for its
+    termination and resolves to its return value.  If the awaited process
+    died with an unhandled exception, that exception is re-raised in the
+    waiter.
+    """
+
+    __slots__ = (
+        "env",
+        "name",
+        "_generator",
+        "_alive",
+        "_result",
+        "_exception",
+        "_waiting_on",
+        "_watchers",
+        "_resuming",
+    )
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: ProcessGenerator,
+        name: str = "",
+    ):
+        self.env = env
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._alive = True
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+        self._waiting_on: Optional[Waitable] = None
+        self._watchers: list[Process] = []
+        self._resuming = False
+        env.schedule(0.0, lambda: self._step(self._generator.send, None))
+
+    @property
+    def alive(self) -> bool:
+        """Whether the generator has not yet finished."""
+        return self._alive
+
+    @property
+    def result(self) -> Any:
+        """Return value of the generator (``None`` while alive)."""
+        return self._result
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point.
+
+        Interrupting a dead process is a no-op; that makes races between
+        a cohort finishing and the coordinator aborting it harmless.
+        """
+        if not self._alive:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on._unsubscribe(self)
+            self._waiting_on = None
+            self._step(self._generator.throw, Interrupt(cause))
+        else:
+            # Not yet started (or mid-schedule): deliver the interrupt on
+            # the next step at the current time.
+            self.env.schedule(
+                0.0, lambda: self._deliver_pending_interrupt(cause)
+            )
+
+    def _deliver_pending_interrupt(self, cause: Any) -> None:
+        if not self._alive:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on._unsubscribe(self)
+            self._waiting_on = None
+        self._step(self._generator.throw, Interrupt(cause))
+
+    def _resume(self, value: Any) -> None:
+        self._waiting_on = None
+        self._step(self._generator.send, value)
+
+    def _step(
+        self, advance: Callable[[Any], Any], argument: Any
+    ) -> None:
+        if not self._alive:
+            return
+        try:
+            target = advance(argument)
+        except StopIteration as stop:
+            self._finish(result=stop.value)
+            return
+        except Interrupt:
+            # The process let the interrupt escape: treat as termination.
+            self._finish(result=None)
+            return
+        except BaseException as exc:  # noqa: BLE001 - surfaced to waiters
+            self._finish(exception=exc)
+            return
+        if not isinstance(target, Waitable):
+            self._finish(
+                exception=SimulationError(
+                    f"process {self.name!r} yielded a non-waitable: "
+                    f"{target!r}"
+                )
+            )
+            return
+        self._waiting_on = target
+        target._subscribe(self)
+
+    def _finish(
+        self,
+        result: Any = None,
+        exception: Optional[BaseException] = None,
+    ) -> None:
+        self._alive = False
+        self._result = result
+        self._exception = exception
+        watchers, self._watchers = self._watchers, []
+        for watcher in watchers:
+            self._notify(watcher)
+        if exception is not None and not watchers:
+            # Nobody is waiting: surface the failure loudly rather than
+            # silently losing it.
+            self.env._record_crash(self, exception)
+
+    def _notify(self, watcher: "Process") -> None:
+        def run() -> None:
+            if not (watcher._alive and watcher._waiting_on is self):
+                return
+            if self._exception is not None:
+                watcher._waiting_on = None
+                watcher._step(
+                    watcher._generator.throw, self._exception
+                )
+            else:
+                watcher._resume(self._result)
+
+        self.env.schedule(0.0, run)
+
+    def _subscribe(self, process: "Process") -> None:
+        if self._alive:
+            self._watchers.append(process)
+        else:
+            self._notify(process)
+
+    def _unsubscribe(self, process: "Process") -> None:
+        try:
+            self._watchers.remove(process)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:
+        state = "alive" if self._alive else "done"
+        return f"<Process {self.name} {state}>"
+
+
+class AllOf(Waitable):
+    """Waits until every child waitable has fired; resolves to a list.
+
+    Results are ordered as the children were given.  Only :class:`Event`
+    and :class:`Process` children are supported (the transaction manager
+    never needs to join on raw timeouts).
+    """
+
+    __slots__ = ("env", "_children", "_pending", "_results", "_proxy")
+
+    def __init__(self, env: "Environment", children: Iterable[Waitable]):
+        self.env = env
+        self._children = list(children)
+        self._pending = len(self._children)
+        self._results: list[Any] = [None] * len(self._children)
+        self._proxy = Event(env)
+        if self._pending == 0:
+            self._proxy.succeed([])
+        for index, child in enumerate(self._children):
+            self._watch(index, child)
+
+    def _watch(self, index: int, child: Waitable) -> None:
+        def collector() -> ProcessGenerator:
+            value = yield child
+            self._results[index] = value
+            self._pending -= 1
+            if self._pending == 0 and not self._proxy.fired:
+                self._proxy.succeed(list(self._results))
+
+        self.env.process(collector(), name="allof-collector")
+
+    def _subscribe(self, process: "Process") -> None:
+        self._proxy._subscribe(process)
+        # Deferred deliveries check ``process._waiting_on is event``;
+        # point the waiter at the proxy so the check matches.
+        process._waiting_on = self._proxy
+
+    def _unsubscribe(self, process: "Process") -> None:
+        self._proxy._unsubscribe(process)
+
+
+class AnyOf(Waitable):
+    """Waits until the first child fires; resolves to ``(index, value)``."""
+
+    __slots__ = ("env", "_proxy")
+
+    def __init__(self, env: "Environment", children: Iterable[Waitable]):
+        self.env = env
+        self._proxy = Event(env)
+        for index, child in enumerate(children):
+            self._watch(index, child)
+
+    def _watch(self, index: int, child: Waitable) -> None:
+        def collector() -> ProcessGenerator:
+            value = yield child
+            if not self._proxy.fired:
+                self._proxy.succeed((index, value))
+
+        self.env.process(collector(), name="anyof-collector")
+
+    def _subscribe(self, process: "Process") -> None:
+        self._proxy._subscribe(process)
+        # See AllOf._subscribe: align the waiter with the proxy event.
+        process._waiting_on = self._proxy
+
+    def _unsubscribe(self, process: "Process") -> None:
+        self._proxy._unsubscribe(process)
+
+
+class Mailbox:
+    """An unbounded FIFO channel between processes.
+
+    ``put`` never blocks; ``get`` returns an :class:`Event` that fires
+    with the next item (immediately, via deferred delivery, if one is
+    already queued).  The transaction manager uses one mailbox per
+    cohort for two-phase-commit control messages.
+    """
+
+    __slots__ = ("env", "_items", "_getters")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self._items: list[Any] = []
+        self._getters: list[Event] = []
+
+    def put(self, item: Any) -> None:
+        """Deposit an item, waking the oldest pending getter if any."""
+        if self._getters:
+            self._getters.pop(0).succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """An event that fires with the next item."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.pop(0))
+        else:
+            self._getters.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class Environment:
+    """Simulation clock, event heap, and process factory."""
+
+    __slots__ = ("_now", "_heap", "_sequence", "_crashes")
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: list[tuple[float, int, ScheduledCallback]] = []
+        self._sequence = count()
+        self._crashes: list[tuple[Process, BaseException]] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    @property
+    def crashes(self) -> list[tuple["Process", BaseException]]:
+        """Processes that died with unobserved exceptions."""
+        return list(self._crashes)
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None]
+    ) -> ScheduledCallback:
+        """Run ``callback`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        handle = ScheduledCallback(self._now + delay, callback)
+        heapq.heappush(
+            self._heap, (handle.time, next(self._sequence), handle)
+        )
+        return handle
+
+    def process(
+        self, generator: ProcessGenerator, name: str = ""
+    ) -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a delay waitable."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """Create a fresh one-shot event."""
+        return Event(self)
+
+    def all_of(self, children: Iterable[Waitable]) -> AllOf:
+        """Create a join waitable over ``children``."""
+        return AllOf(self, children)
+
+    def any_of(self, children: Iterable[Waitable]) -> AnyOf:
+        """Create a first-of waitable over ``children``."""
+        return AnyOf(self, children)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or the clock reaches ``until``.
+
+        When stopped by ``until``, the clock is advanced exactly to
+        ``until`` so that time-weighted statistics close their intervals
+        at the requested horizon.
+        """
+        heap = self._heap
+        while heap:
+            time, _seq, handle = heap[0]
+            if until is not None and time > until:
+                self._now = until
+                return
+            heapq.heappop(heap)
+            if handle.cancelled:
+                continue
+            self._now = time
+            handle.callback()
+        if until is not None and until > self._now:
+            self._now = until
+
+    def _record_crash(
+        self, process: Process, exception: BaseException
+    ) -> None:
+        self._crashes.append((process, exception))
+
+    def check_crashes(self) -> None:
+        """Raise the first unobserved process failure, if any.
+
+        The simulation driver calls this after :meth:`run` so that bugs
+        in model code fail tests instead of silently skewing statistics.
+        """
+        if self._crashes:
+            process, exception = self._crashes[0]
+            raise SimulationError(
+                f"process {process.name!r} crashed: {exception!r}"
+            ) from exception

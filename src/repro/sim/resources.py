@@ -1,0 +1,343 @@
+"""Resource disciplines used by the paper's resource manager (§3.4).
+
+Two physical resources are modeled:
+
+* :class:`CPU` — one per node.  The paper specifies the service
+  discipline exactly: *"first-come, first-served (FIFO) for message
+  service and processor sharing for all other services, with message
+  processing being higher priority."*  We implement processor sharing
+  with the classic virtual-time construction, so every state transition
+  costs O(log n) rather than O(n): the PS virtual clock ``V`` advances at
+  rate ``1/n`` while ``n`` jobs share the processor, and a job arriving
+  with ``s`` dedicated-seconds of work completes when ``V`` reaches its
+  arrival value plus ``s``.  While a message is in service the PS clock
+  freezes (messages have strict priority).
+
+* :class:`Disk` — several per node.  Each disk serves its own queue
+  FIFO, with *"disk writes given priority over disk reads"* so that the
+  asynchronous post-commit write-back keeps up.  Access times are
+  sampled uniformly from [MinDiskTime, MaxDiskTime].
+
+Both resources fire a kernel :class:`~repro.sim.kernel.Event` on
+completion and support cancellation of not-yet-finished work, which the
+transaction manager uses when a cohort is aborted mid-request.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from collections import deque
+from enum import Enum
+from itertools import count
+from typing import Optional
+
+from repro.sim.kernel import Environment, Event, ScheduledCallback
+from repro.sim.stats import TimeWeighted
+
+__all__ = ["CPU", "Disk", "DiskRequestKind"]
+
+# Jobs whose PS target lies within this many virtual seconds of the
+# current virtual clock are considered complete (floating-point slack).
+_V_EPSILON = 1e-9
+
+
+class _PsJob:
+    """A processor-sharing job: completes when V reaches ``target_v``."""
+
+    __slots__ = ("target_v", "event", "cancelled")
+
+    def __init__(self, target_v: float, event: Event):
+        self.target_v = target_v
+        self.event = event
+        self.cancelled = False
+
+
+class CPU:
+    """Processor with PS service and priority FIFO message service.
+
+    Work is expressed in *instructions*; the CPU converts to seconds via
+    its MIPS rating.  :meth:`execute` enters the processor-sharing class
+    (transaction page processing, I/O initiation, process startup);
+    :meth:`execute_message` enters the high-priority FIFO class (message
+    protocol processing).
+    """
+
+    def __init__(self, env: Environment, mips: float, name: str = "cpu"):
+        if mips <= 0:
+            raise ValueError(f"CPU rate must be positive, got {mips}")
+        self.env = env
+        self.mips = mips
+        self.name = name
+        self._instructions_per_second = mips * 1e6
+        # Processor-sharing state.
+        self._v = 0.0
+        self._v_updated_at = env.now
+        self._ps_heap: list[tuple[float, int, _PsJob]] = []
+        self._ps_jobs: dict[int, _PsJob] = {}  # id(event) -> job
+        self._ps_active = 0
+        self._ps_timer: Optional[ScheduledCallback] = None
+        # Message (FIFO, high-priority) state.
+        self._msg_queue: deque[tuple[float, Event]] = deque()
+        self._msg_busy = False
+        self._seq = count()
+        # Statistics.
+        self.busy_time = TimeWeighted(env.now, 0.0)
+        self.message_busy_time = TimeWeighted(env.now, 0.0)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def execute(self, instructions: float) -> Event:
+        """Submit processor-sharing work; the event fires on completion."""
+        event = self.env.event()
+        seconds = instructions / self._instructions_per_second
+        if seconds <= 0.0:
+            self.env.schedule(0.0, lambda: event.succeed())
+            return event
+        self._sync()
+        job = _PsJob(self._v + seconds, event)
+        heapq.heappush(self._ps_heap, (job.target_v, next(self._seq), job))
+        self._ps_jobs[id(event)] = job
+        self._ps_active += 1
+        self._update_busy_stat()
+        self._reschedule_ps()
+        return event
+
+    def execute_message(self, instructions: float) -> Event:
+        """Submit high-priority FIFO message-processing work."""
+        event = self.env.event()
+        seconds = instructions / self._instructions_per_second
+        if seconds <= 0.0:
+            self.env.schedule(0.0, lambda: event.succeed())
+            return event
+        self._msg_queue.append((seconds, event))
+        if not self._msg_busy:
+            self._start_next_message()
+        return event
+
+    def cancel(self, event: Event) -> bool:
+        """Cancel a pending PS job; returns True if it was still pending.
+
+        In-service message work cannot be cancelled (messages are tiny
+        and non-preemptive); queued message work is not cancellable
+        either, because nothing in the model ever abandons a message.
+        """
+        job = self._ps_jobs.pop(id(event), None)
+        if job is None or job.cancelled:
+            return False
+        self._sync()
+        job.cancelled = True
+        self._ps_active -= 1
+        self._update_busy_stat()
+        self._reschedule_ps()
+        return True
+
+    @property
+    def utilization_stat(self) -> TimeWeighted:
+        """Time-weighted busy indicator (any class in service)."""
+        return self.busy_time
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _ps_running(self) -> bool:
+        return self._ps_active > 0 and not self._msg_busy
+
+    def _sync(self) -> None:
+        """Advance the PS virtual clock to the current time."""
+        now = self.env.now
+        if self._ps_running():
+            elapsed = now - self._v_updated_at
+            if elapsed > 0.0:
+                self._v += elapsed / self._ps_active
+        self._v_updated_at = now
+
+    def _update_busy_stat(self) -> None:
+        busy = 1.0 if (self._msg_busy or self._ps_active > 0) else 0.0
+        self.busy_time.update(self.env.now, busy)
+        self.message_busy_time.update(
+            self.env.now, 1.0 if self._msg_busy else 0.0
+        )
+
+    def _reschedule_ps(self) -> None:
+        """Arm the timer for the next PS completion (if any)."""
+        if self._ps_timer is not None:
+            self._ps_timer.cancel()
+            self._ps_timer = None
+        if self._msg_busy:
+            return
+        self._discard_cancelled()
+        if not self._ps_heap:
+            return
+        target_v = self._ps_heap[0][0]
+        remaining_v = max(0.0, target_v - self._v)
+        delay = remaining_v * self._ps_active
+        self._ps_timer = self.env.schedule(delay, self._complete_ps)
+
+    def _discard_cancelled(self) -> None:
+        heap = self._ps_heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+
+    def _complete_ps(self) -> None:
+        self._ps_timer = None
+        self._sync()
+        self._discard_cancelled()
+        heap = self._ps_heap
+        if heap:
+            # Snap the virtual clock so equal-target jobs finish together
+            # despite floating-point drift.
+            front_target = heap[0][0]
+            if front_target > self._v:
+                self._v = front_target
+        while heap and heap[0][0] <= self._v + _V_EPSILON:
+            _target, _seq, job = heapq.heappop(heap)
+            if job.cancelled:
+                continue
+            del self._ps_jobs[id(job.event)]
+            self._ps_active -= 1
+            job.event.succeed()
+        self._update_busy_stat()
+        self._reschedule_ps()
+
+    def _start_next_message(self) -> None:
+        if not self._msg_queue:
+            return
+        # Freeze the PS clock before message service begins.
+        self._sync()
+        self._msg_busy = True
+        self._update_busy_stat()
+        if self._ps_timer is not None:
+            self._ps_timer.cancel()
+            self._ps_timer = None
+        seconds, event = self._msg_queue.popleft()
+        self.env.schedule(seconds, lambda: self._finish_message(event))
+
+    def _finish_message(self, event: Event) -> None:
+        self._sync()  # No-op for V (PS was frozen), refreshes timestamp.
+        self._msg_busy = False
+        event.succeed()
+        if self._msg_queue:
+            self._start_next_message()
+        else:
+            self._update_busy_stat()
+            self._reschedule_ps()
+
+    def __repr__(self) -> str:
+        return (
+            f"<CPU {self.name} mips={self.mips} active={self._ps_active}"
+            f" msg_busy={self._msg_busy}>"
+        )
+
+
+class DiskRequestKind(Enum):
+    """Disk request class; writes have non-preemptive priority."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+class _DiskRequest:
+    __slots__ = ("kind", "event", "cancelled")
+
+    def __init__(self, kind: DiskRequestKind, event: Event):
+        self.kind = kind
+        self.event = event
+        self.cancelled = False
+
+
+class Disk:
+    """A single disk with FIFO service and write-over-read priority.
+
+    Access times are sampled uniformly from ``[min_time, max_time]``
+    using the supplied random stream, matching Table 3's
+    MinDiskTime/MaxDiskTime parameters.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        min_time: float,
+        max_time: float,
+        stream: random.Random,
+        name: str = "disk",
+    ):
+        if min_time < 0 or max_time < min_time:
+            raise ValueError(
+                f"invalid disk time range [{min_time}, {max_time}]"
+            )
+        self.env = env
+        self.min_time = min_time
+        self.max_time = max_time
+        self.name = name
+        self._stream = stream
+        self._read_queue: deque[_DiskRequest] = deque()
+        self._write_queue: deque[_DiskRequest] = deque()
+        self._busy = False
+        self.busy_time = TimeWeighted(env.now, 0.0)
+        self.reads_served = 0
+        self.writes_served = 0
+
+    def access(self, kind: DiskRequestKind) -> Event:
+        """Queue an access; the event fires when the transfer completes."""
+        request = _DiskRequest(kind, self.env.event())
+        if kind is DiskRequestKind.WRITE:
+            self._write_queue.append(request)
+        else:
+            self._read_queue.append(request)
+        if not self._busy:
+            self._start_next()
+        return request.event
+
+    def cancel(self, event: Event) -> bool:
+        """Cancel a *queued* request; in-service transfers complete."""
+        for queue in (self._write_queue, self._read_queue):
+            for request in queue:
+                if request.event is event and not request.cancelled:
+                    request.cancelled = True
+                    return True
+        return False
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting (not counting one in service)."""
+        pending = sum(
+            1 for r in self._write_queue if not r.cancelled
+        ) + sum(1 for r in self._read_queue if not r.cancelled)
+        return pending
+
+    def _pop_next(self) -> Optional[_DiskRequest]:
+        for queue in (self._write_queue, self._read_queue):
+            while queue:
+                request = queue.popleft()
+                if not request.cancelled:
+                    return request
+        return None
+
+    def _start_next(self) -> None:
+        request = self._pop_next()
+        if request is None:
+            return
+        self._busy = True
+        self.busy_time.update(self.env.now, 1.0)
+        service = self._stream.uniform(self.min_time, self.max_time)
+        self.env.schedule(service, lambda: self._finish(request))
+
+    def _finish(self, request: _DiskRequest) -> None:
+        if request.kind is DiskRequestKind.WRITE:
+            self.writes_served += 1
+        else:
+            self.reads_served += 1
+        request.event.succeed()
+        self._busy = False
+        self.busy_time.update(self.env.now, 0.0)
+        self._start_next()
+
+    def __repr__(self) -> str:
+        return (
+            f"<Disk {self.name} busy={self._busy}"
+            f" queued={self.queue_length}>"
+        )

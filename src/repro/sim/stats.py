@@ -1,0 +1,221 @@
+"""Statistics collectors for the simulation.
+
+Three collector styles cover everything the paper's metrics need:
+
+* :class:`Tally` — observation statistics (response times, blocking
+  times): count, mean, variance, extremes.
+* :class:`TimeWeighted` — time-averaged state statistics (CPU/disk
+  utilization, queue lengths): maintains the time integral of a piecewise
+  constant signal.
+* :class:`Counter` — plain event counts (commits, aborts, messages).
+
+All three support :meth:`reset`, which the simulation driver calls at the
+end of the warmup period so reported statistics only cover steady state.
+:class:`BatchMeans` adds simple batch-means confidence intervals for the
+response-time series, which EXPERIMENTS.md uses to report run quality.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+__all__ = ["BatchMeans", "Counter", "Tally", "TimeWeighted"]
+
+
+class Tally:
+    """Running mean/variance over discrete observations (Welford)."""
+
+    __slots__ = ("count", "_mean", "_m2", "minimum", "maximum", "total")
+
+    def __init__(self):
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.total = 0.0
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        self.count += 1
+        self.total += value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Sample mean, or 0.0 when no observations were recorded."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than 2 samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def reset(self) -> None:
+        """Discard all observations (end of warmup)."""
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.total = 0.0
+
+    def __repr__(self) -> str:
+        return f"<Tally n={self.count} mean={self.mean:.6g}>"
+
+
+class TimeWeighted:
+    """Time integral of a piecewise-constant signal.
+
+    ``update(now, value)`` closes the interval since the previous update
+    at the old value and switches to ``value``.  The signal is typically
+    0/1 (busy/idle) for utilizations or an integer for queue lengths.
+    """
+
+    __slots__ = ("_value", "_last_time", "_integral", "_start_time")
+
+    def __init__(self, start_time: float = 0.0, value: float = 0.0):
+        self._value = value
+        self._last_time = start_time
+        self._start_time = start_time
+        self._integral = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current value of the signal."""
+        return self._value
+
+    def update(self, now: float, value: float) -> None:
+        """Advance the integral to ``now`` and set a new signal value."""
+        self._integral += self._value * (now - self._last_time)
+        self._last_time = now
+        self._value = value
+
+    def advance(self, now: float) -> None:
+        """Advance the integral to ``now`` without changing the value."""
+        self.update(now, self._value)
+
+    def mean(self, now: float) -> float:
+        """Time average of the signal over [start_time, now]."""
+        elapsed = now - self._start_time
+        if elapsed <= 0.0:
+            return self._value
+        integral = self._integral + self._value * (now - self._last_time)
+        return integral / elapsed
+
+    def reset(self, now: float) -> None:
+        """Restart the averaging window at ``now`` (end of warmup)."""
+        self._integral = 0.0
+        self._last_time = now
+        self._start_time = now
+
+    def __repr__(self) -> str:
+        return f"<TimeWeighted value={self._value:.6g}>"
+
+
+class Counter:
+    """A resettable event counter."""
+
+    __slots__ = ("count",)
+
+    def __init__(self):
+        self.count = 0
+
+    def increment(self, amount: int = 1) -> None:
+        """Add ``amount`` events (default one)."""
+        self.count += amount
+
+    def reset(self) -> None:
+        """Zero the counter (end of warmup)."""
+        self.count = 0
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.count}>"
+
+
+# Student-t 97.5% quantiles for small degrees of freedom; beyond the table
+# the normal quantile is close enough for reporting purposes.
+_T_975 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    15: 2.131, 20: 2.086, 30: 2.042,
+}
+
+
+def _t_quantile_975(dof: int) -> float:
+    if dof <= 0:
+        return math.inf
+    if dof in _T_975:
+        return _T_975[dof]
+    for threshold in (30, 20, 15, 10):
+        if dof >= threshold:
+            return _T_975[threshold]
+    return _T_975[min(_T_975, key=lambda k: abs(k - dof))]
+
+
+class BatchMeans:
+    """Fixed-batch-size batch means with a 95% confidence interval.
+
+    Observations are grouped into consecutive batches of ``batch_size``;
+    the batch averages are treated as (approximately) independent samples
+    for the interval.  This is the standard steady-state output analysis
+    used in the Carey/Livny line of simulation studies.
+    """
+
+    __slots__ = ("batch_size", "_pending_sum", "_pending_count", "_batches")
+
+    def __init__(self, batch_size: int = 100):
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.batch_size = batch_size
+        self._pending_sum = 0.0
+        self._pending_count = 0
+        self._batches = Tally()
+
+    def record(self, value: float) -> None:
+        """Add one observation; completes a batch every ``batch_size``."""
+        self._pending_sum += value
+        self._pending_count += 1
+        if self._pending_count == self.batch_size:
+            self._batches.record(self._pending_sum / self.batch_size)
+            self._pending_sum = 0.0
+            self._pending_count = 0
+
+    @property
+    def num_batches(self) -> int:
+        """Number of completed batches."""
+        return self._batches.count
+
+    @property
+    def mean(self) -> float:
+        """Mean of the completed batch means."""
+        return self._batches.mean
+
+    def half_width(self) -> Optional[float]:
+        """95% CI half-width, or ``None`` with fewer than 2 batches."""
+        if self._batches.count < 2:
+            return None
+        t_value = _t_quantile_975(self._batches.count - 1)
+        return t_value * self._batches.stddev / math.sqrt(
+            self._batches.count
+        )
+
+    def reset(self) -> None:
+        """Discard all observations and batches (end of warmup)."""
+        self._pending_sum = 0.0
+        self._pending_count = 0
+        self._batches.reset()

@@ -1,0 +1,79 @@
+"""Tests for the ASCII chart renderer."""
+
+from repro.analysis.ascii_chart import render_chart
+from repro.analysis.series import FigureSeries
+
+
+def make_series():
+    series = FigureSeries(
+        title="Chart test",
+        x_label="think(s)",
+        y_label="throughput",
+        x_values=[0.0, 60.0, 120.0],
+    )
+    series.add_curve("2pl", [10.0, 5.0, 1.0])
+    series.add_curve("opt", [6.0, 4.0, 1.0])
+    return series
+
+
+class TestRenderChart:
+    def test_contains_title_axis_and_legend(self):
+        text = render_chart(make_series())
+        assert "Chart test" in text
+        assert "o=2pl" in text
+        assert "x=opt" in text
+        assert "think(s)" in text
+        assert "throughput" in text
+
+    def test_y_extremes_labelled(self):
+        text = render_chart(make_series())
+        assert "10" in text
+        assert "1" in text
+
+    def test_markers_plotted(self):
+        text = render_chart(make_series())
+        body = "\n".join(
+            line for line in text.splitlines() if "|" in line
+        )
+        assert "o" in body
+        assert "x" in body
+
+    def test_shared_cells_marked_with_star(self):
+        series = FigureSeries(
+            title="overlap", x_label="x", y_label="y",
+            x_values=[0.0, 1.0],
+        )
+        series.add_curve("a", [1.0, 2.0])
+        series.add_curve("b", [1.0, 2.0])  # identical curve
+        text = render_chart(series)
+        assert "*" in text
+
+    def test_constant_curve_handled(self):
+        series = FigureSeries(
+            title="flat", x_label="x", y_label="y",
+            x_values=[0.0, 1.0],
+        )
+        series.add_curve("c", [3.0, 3.0])
+        text = render_chart(series)
+        assert "flat" in text  # no division-by-zero crash
+
+    def test_all_none_curve(self):
+        series = FigureSeries(
+            title="empty", x_label="x", y_label="y",
+            x_values=[0.0, 1.0],
+        )
+        series.add_curve("n", [None, None])
+        assert "no data" in render_chart(series)
+
+    def test_single_point_axis(self):
+        series = FigureSeries(
+            title="point", x_label="x", y_label="y", x_values=[1.0]
+        )
+        series.add_curve("p", [2.0])
+        assert "no data" in render_chart(series)
+
+    def test_dimensions_respected(self):
+        text = render_chart(make_series(), width=30, height=8)
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert len(rows) == 8
+        assert all(len(row.split("|", 1)[1]) == 30 for row in rows)

@@ -1,0 +1,119 @@
+"""Tests for the analytic bounds — including cross-validation against
+the simulator, which doubles as a resource-accounting audit."""
+
+import pytest
+
+from repro.analysis import bounds
+from repro.core.config import paper_default_config
+from repro.core.simulation import run_simulation
+
+
+@pytest.fixture(scope="module")
+def table4():
+    return paper_default_config("no_dc", think_time=0.0)
+
+
+class TestWorkloadExpectations:
+    def test_reads_per_transaction(self, table4):
+        assert bounds.expected_reads_per_transaction(
+            table4
+        ) == pytest.approx(64.0)
+
+    def test_writes_per_transaction(self, table4):
+        """The §4.1 sentence the write-probability default encodes."""
+        assert bounds.expected_writes_per_transaction(
+            table4
+        ) == pytest.approx(8.0)
+
+
+class TestCapacityBounds:
+    def test_disk_bound_value(self, table4):
+        # 72 accesses x 20ms over 16 disks = 11.1 txn/s.
+        assert bounds.disk_bound_throughput(table4) == pytest.approx(
+            16 / (72 * 0.020), rel=1e-6
+        )
+
+    def test_io_bound_design_point(self, table4):
+        """Paper §4.1: disks bind before CPUs, but only just."""
+        disk = bounds.disk_bound_throughput(table4)
+        cpu = bounds.cpu_bound_throughput(table4)
+        assert disk < cpu
+        assert disk / cpu > 0.7  # "slightly" I/O-bound
+
+    def test_upper_bound_is_min(self, table4):
+        assert bounds.throughput_upper_bound(table4) == min(
+            bounds.disk_bound_throughput(table4),
+            bounds.cpu_bound_throughput(table4),
+        )
+
+    def test_disk_bound_scales_with_machine(self):
+        small = paper_default_config("no_dc", num_proc_nodes=1)
+        small = small.with_database(placement_degree=1)
+        big = paper_default_config("no_dc", num_proc_nodes=8)
+        assert bounds.disk_bound_throughput(
+            big
+        ) == pytest.approx(
+            8 * bounds.disk_bound_throughput(small)
+        )
+
+
+class TestLongestCohort:
+    def test_single_cohort_is_mean(self):
+        # Degree 1: expectation of one Uniform{4..12} draw = 8.
+        assert bounds.expected_longest_cohort_pages(
+            8, 1
+        ) == pytest.approx(8.0)
+
+    def test_eight_cohorts_near_paper_footnote(self):
+        # Footnote 12: with 8 cohorts the longest is close to 12.
+        longest = bounds.expected_longest_cohort_pages(8, 8)
+        assert 10.5 < longest < 12.0
+
+    def test_monotone_in_degree(self):
+        values = [
+            bounds.expected_longest_cohort_pages(8, d)
+            for d in (1, 2, 4, 8)
+        ]
+        assert values == sorted(values)
+
+
+class TestCrossValidation:
+    """The simulator must respect the analytic bounds."""
+
+    def test_saturated_throughput_matches_disk_bound(self):
+        config = paper_default_config("no_dc", think_time=0.0).with_(
+            duration=40.0, warmup=15.0
+        )
+        result = run_simulation(config)
+        bound = bounds.throughput_upper_bound(config)
+        assert result.throughput <= bound * 1.05
+        assert result.throughput >= bound * 0.85
+
+    def test_light_load_response_time_estimate(self):
+        config = paper_default_config("no_dc", think_time=300.0).with_(
+            duration=200.0,
+            warmup=50.0,
+            target_commits=150,
+            max_duration=1200.0,
+        )
+        result = run_simulation(config)
+        estimate = bounds.light_load_response_time(config)
+        assert result.mean_response_time == pytest.approx(
+            estimate, rel=0.30
+        )
+
+    def test_terminal_bound_at_light_load(self):
+        # Think time 30s keeps the machine lightly loaded while giving
+        # enough completed cycles that exponential-think sampling noise
+        # stays within the tolerance.
+        config = paper_default_config("no_dc", think_time=30.0).with_(
+            duration=120.0,
+            warmup=30.0,
+            target_commits=600,
+            max_duration=900.0,
+        )
+        result = run_simulation(config)
+        bound = bounds.terminal_bound_throughput(
+            config, result.mean_response_time
+        )
+        assert result.throughput == pytest.approx(bound, rel=0.10)

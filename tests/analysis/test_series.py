@@ -1,0 +1,70 @@
+"""Tests for figure series and table formatting."""
+
+import pytest
+
+from repro.analysis.series import FigureSeries, format_table
+
+
+def make_series():
+    series = FigureSeries(
+        title="Test figure",
+        x_label="think(s)",
+        y_label="throughput",
+        x_values=[0.0, 8.0, 120.0],
+    )
+    series.add_curve("2pl", [10.0, 9.0, 1.0])
+    series.add_curve("opt", [5.0, None, 0.9])
+    return series
+
+
+class TestFigureSeries:
+    def test_curve_roundtrip(self):
+        series = make_series()
+        assert series.curve("2pl") == [10.0, 9.0, 1.0]
+
+    def test_value_at(self):
+        series = make_series()
+        assert series.value_at("2pl", 8.0) == 9.0
+        assert series.value_at("opt", 8.0) is None
+
+    def test_length_mismatch_rejected(self):
+        series = make_series()
+        with pytest.raises(ValueError):
+            series.add_curve("bad", [1.0])
+
+    def test_value_at_unknown_x_raises(self):
+        series = make_series()
+        with pytest.raises(ValueError):
+            series.value_at("2pl", 3.0)
+
+
+class TestFormatting:
+    def test_table_contains_title_and_curves(self):
+        text = format_table(make_series())
+        assert "Test figure" in text
+        assert "2pl" in text
+        assert "opt" in text
+
+    def test_none_rendered_as_dash(self):
+        text = format_table(make_series())
+        assert "-" in text.splitlines()[4]
+
+    def test_rows_match_x_axis(self):
+        lines = format_table(make_series()).splitlines()
+        data_rows = lines[3:-1]
+        assert len(data_rows) == 3
+
+    def test_str_same_as_format(self):
+        series = make_series()
+        assert str(series) == format_table(series)
+
+    def test_large_and_small_magnitudes(self):
+        series = FigureSeries(
+            title="t", x_label="x", y_label="y", x_values=[1.0]
+        )
+        series.add_curve("big", [12345.0])
+        series.add_curve("tiny", [0.0001])
+        series.add_curve("zero", [0.0])
+        text = format_table(series)
+        assert "12345" in text
+        assert "1.00e-04" in text

@@ -1,0 +1,56 @@
+"""Tests for speedup and degradation arithmetic."""
+
+import pytest
+
+from repro.analysis.speedup import (
+    percent_degradation,
+    ratio_curves,
+    ratio_series,
+)
+
+
+class TestRatioSeries:
+    def test_elementwise_ratio(self):
+        assert ratio_series([4.0, 9.0], [2.0, 3.0]) == [2.0, 3.0]
+
+    def test_none_propagates(self):
+        assert ratio_series([4.0, None], [2.0, 2.0]) == [2.0, None]
+        assert ratio_series([4.0, 4.0], [2.0, None]) == [2.0, None]
+
+    def test_zero_denominator_yields_none(self):
+        assert ratio_series([4.0], [0.0]) == [None]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ratio_series([1.0], [1.0, 2.0])
+
+
+class TestRatioCurves:
+    def test_per_name_ratios(self):
+        out = ratio_curves(
+            {"a": [4.0], "b": [6.0]},
+            {"a": [2.0], "b": [3.0]},
+        )
+        assert out == {"a": [2.0], "b": [2.0]}
+
+    def test_missing_names_skipped(self):
+        out = ratio_curves({"a": [4.0], "x": [1.0]}, {"a": [2.0]})
+        assert out == {"a": [2.0]}
+
+
+class TestPercentDegradation:
+    def test_basic(self):
+        out = percent_degradation([12.0], [10.0])
+        assert out == [pytest.approx(20.0)]
+
+    def test_negative_when_better_than_baseline(self):
+        out = percent_degradation([8.0], [10.0])
+        assert out == [pytest.approx(-20.0)]
+
+    def test_none_and_zero_handling(self):
+        assert percent_degradation([None], [10.0]) == [None]
+        assert percent_degradation([5.0], [0.0]) == [None]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            percent_degradation([1.0], [])

@@ -1,0 +1,108 @@
+"""Stateful property testing of the lock table (hypothesis).
+
+Random interleavings of acquire/release operations, with the lock
+table's core invariants checked after every step:
+
+* an exclusive holder is always alone on its page;
+* a transaction never both holds and queues a non-upgrade request on
+  the same page;
+* every blocked request's event fires at most once, and only with
+  GRANTED (the table itself never rejects);
+* after releasing everything, the table is empty.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.cc.locks import LockManager, LockMode
+from repro.core.database import PageId
+from repro.sim.kernel import Environment
+from tests.cc.conftest import make_transaction
+
+
+class LockTableMachine(RuleBasedStateMachine):
+    transactions = Bundle("transactions")
+
+    @initialize()
+    def setup(self):
+        self.env = Environment()
+        self.locks = LockManager(self.env, upgrades_jump_queue=True)
+        self.pages = [PageId(0, 0, index) for index in range(4)]
+        self.grant_log = []
+
+    @rule(target=transactions)
+    def new_transaction(self):
+        return make_transaction(self.env)
+
+    @rule(
+        txn=transactions,
+        page_index=st.integers(min_value=0, max_value=3),
+        exclusive=st.booleans(),
+    )
+    def acquire(self, txn, page_index, exclusive):
+        if self.locks.is_waiting(txn):
+            # Contract: a cohort blocks on its pending request; it
+            # cannot issue another until that one resolves.
+            return
+        mode = (
+            LockMode.EXCLUSIVE if exclusive else LockMode.SHARED
+        )
+        cohort = txn.cohorts[0]
+        granted, request, _conflicts = self.locks.acquire(
+            cohort, self.pages[page_index], mode
+        )
+        if not granted:
+            log = self.grant_log
+
+            def watch(request=request):
+                value = yield request.event
+                log.append((request, value))
+
+            self.env.process(watch())
+
+    @rule(txn=transactions)
+    def release(self, txn):
+        self.locks.release_all(txn)
+        self.env.run()
+
+    @invariant()
+    def table_consistent(self):
+        if hasattr(self, "locks"):
+            self.env.run()
+            self.locks.assert_consistent()
+
+    @invariant()
+    def grants_unique_per_request(self):
+        if not hasattr(self, "grant_log"):
+            return
+        requests = [id(request) for request, _value in self.grant_log]
+        assert len(requests) == len(set(requests))
+
+    def teardown(self):
+        if not hasattr(self, "locks"):
+            return
+        # Release everything: the table must drain completely.
+        seen = set()
+        for request, _value in self.grant_log:
+            seen.add(request.transaction)
+        for txn in list(self.locks._held) + list(
+            self.locks._waiting
+        ):
+            seen.add(txn)
+        for txn in seen:
+            self.locks.release_all(txn)
+        self.env.run()
+        assert self.locks._table == {}
+
+
+TestLockTableStateful = LockTableMachine.TestCase
+TestLockTableStateful.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)

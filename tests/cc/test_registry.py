@@ -1,0 +1,55 @@
+"""Tests for the CC algorithm registry."""
+
+import pytest
+
+from repro.cc.no_dc import NoDataContention
+from repro.cc.optimistic import DistributedCertification
+from repro.cc.registry import (
+    ALGORITHM_NAMES,
+    make_algorithm,
+    register_algorithm,
+)
+from repro.cc.timestamp_ordering import BasicTimestampOrdering
+from repro.cc.two_phase_locking import TwoPhaseLocking
+from repro.cc.wound_wait import WoundWait
+
+
+@pytest.mark.parametrize(
+    ("name", "cls"),
+    [
+        ("2pl", TwoPhaseLocking),
+        ("ww", WoundWait),
+        ("bto", BasicTimestampOrdering),
+        ("opt", DistributedCertification),
+        ("no_dc", NoDataContention),
+    ],
+)
+def test_lookup_by_name(name, cls):
+    assert isinstance(make_algorithm(name), cls)
+
+
+@pytest.mark.parametrize(
+    "spelling", ["2PL", " ww ", "NO_DC", "NODC", "no-dc", "Opt"]
+)
+def test_tolerant_spellings(spelling):
+    make_algorithm(spelling)  # must not raise
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(ValueError, match="unknown"):
+        make_algorithm("mvcc")
+
+
+def test_all_names_resolvable():
+    for name in ALGORITHM_NAMES:
+        assert make_algorithm(name).name == name
+
+
+def test_register_custom_algorithm():
+    class Custom(NoDataContention):
+        name = "custom-test-algo"
+
+    register_algorithm("custom-test-algo", Custom)
+    assert isinstance(make_algorithm("custom-test-algo"), Custom)
+    with pytest.raises(ValueError, match="already registered"):
+        register_algorithm("custom-test-algo", Custom)

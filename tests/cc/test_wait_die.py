@@ -1,0 +1,103 @@
+"""Tests for the wait-die extension algorithm."""
+
+import pytest
+
+from repro.cc.base import RequestResult
+from repro.cc.wait_die import WaitDie, WaitDieNodeManager
+
+from tests.cc.conftest import page
+
+
+@pytest.fixture
+def manager(context):
+    return WaitDieNodeManager(0, context)
+
+
+def cohort_of(txn):
+    return txn.cohorts[0]
+
+
+class TestWaitDieRules:
+    def test_older_waits_for_younger_never(self, manager, new_txn):
+        """Mirror of wound-wait: older requesters WAIT."""
+        young = new_txn(1.0)
+        old = new_txn(0.0)
+        manager.read_request(cohort_of(young), page(1))
+        manager.write_request(cohort_of(young), page(1))
+        response = manager.read_request(cohort_of(old), page(1))
+        assert response.result is RequestResult.BLOCKED
+
+    def test_younger_dies_on_conflict_with_older(self, manager,
+                                                 new_txn, aborts):
+        old = new_txn(0.0)
+        young = new_txn(1.0)
+        manager.read_request(cohort_of(old), page(1))
+        manager.write_request(cohort_of(old), page(1))
+        response = manager.read_request(cohort_of(young), page(1))
+        assert response.result is RequestResult.REJECTED
+        # The death is synchronous: no remote abort request needed.
+        assert aborts.requests == []
+
+    def test_died_request_not_left_in_queue(self, env, manager,
+                                            new_txn):
+        old = new_txn(0.0)
+        young = new_txn(1.0)
+        manager.read_request(cohort_of(old), page(1))
+        manager.write_request(cohort_of(old), page(1))
+        manager.read_request(cohort_of(young), page(1))  # dies
+        assert not manager.locks.is_waiting(young)
+        # Held locks release only via the abort protocol, and the old
+        # transaction keeps running normally.
+        installed = manager.commit(cohort_of(old))
+        assert installed == old.cohorts[0].updated_pages
+
+    def test_death_keeps_already_held_locks(self, manager, new_txn):
+        """Dying withdraws only the new request; previously granted
+        locks stay held until the abort protocol runs."""
+        old = new_txn(0.0)
+        young = new_txn(1.0)
+        manager.read_request(cohort_of(young), page(2))
+        manager.read_request(cohort_of(old), page(1))
+        manager.write_request(cohort_of(old), page(1))
+        response = manager.read_request(cohort_of(young), page(1))
+        assert response.result is RequestResult.REJECTED
+        assert manager.locks.holds_any(young)  # page 2 still held
+        manager.abort(cohort_of(young))
+        assert not manager.locks.holds_any(young)
+
+    def test_compatible_access_granted_regardless_of_age(self,
+                                                         manager,
+                                                         new_txn):
+        old = new_txn(0.0)
+        young = new_txn(1.0)
+        manager.read_request(cohort_of(old), page(1))
+        response = manager.read_request(cohort_of(young), page(1))
+        assert response.result is RequestResult.GRANTED
+
+    def test_mixed_conflict_set_dies(self, manager, new_txn):
+        """If any member of the conflict set is younger, the requester
+        dies (it may not wait for a younger transaction)."""
+        oldest = new_txn(0.0)
+        middle = new_txn(1.0)
+        young = new_txn(2.0)
+        manager.read_request(cohort_of(oldest), page(1))
+        manager.read_request(cohort_of(young), page(1))
+        response = manager.write_request(cohort_of(middle), page(1))
+        # middle holds nothing on page(1): this is a fresh exclusive
+        # request conflicting with both holders; young is younger.
+        assert response.result is RequestResult.REJECTED
+
+
+class TestTimestampPolicy:
+    def test_restart_keeps_original_timestamp(self, new_txn):
+        algorithm = WaitDie()
+        txn = new_txn()
+        txn.startup_timestamp = None
+        txn.timestamp = None
+        algorithm.assign_timestamps(txn, 1.0)
+        original = txn.timestamp
+        algorithm.assign_timestamps(txn, 50.0)
+        assert txn.timestamp == original
+
+    def test_name(self):
+        assert WaitDie.name == "wd"

@@ -1,0 +1,169 @@
+"""Tests for the configuration layer — including that the defaults
+reproduce the paper's Table 4."""
+
+import pytest
+
+from repro.core.config import (
+    DatabaseConfig,
+    ExecutionPattern,
+    PlacementKind,
+    ResourceConfig,
+    SimulationConfig,
+    TransactionClassConfig,
+    WorkloadConfig,
+    paper_default_config,
+)
+
+
+class TestTable4Defaults:
+    """Table 4 of the paper, parameter by parameter."""
+
+    def test_machine_shape(self):
+        config = SimulationConfig()
+        assert config.num_proc_nodes == 8
+        assert config.resources.host_cpu_mips == 10.0
+        assert config.resources.node_cpu_mips == 1.0
+        assert config.resources.disks_per_node == 2
+
+    def test_disk_times(self):
+        resources = ResourceConfig()
+        assert resources.min_disk_time == pytest.approx(0.010)
+        assert resources.max_disk_time == pytest.approx(0.030)
+
+    def test_cpu_costs(self):
+        resources = ResourceConfig()
+        assert resources.inst_per_update == 2_000
+        assert resources.inst_per_startup == 2_000
+        assert resources.inst_per_msg == 1_000
+
+    def test_database_shape(self):
+        database = DatabaseConfig()
+        assert database.num_relations == 8
+        assert database.partitions_per_relation == 8
+        assert database.num_files == 64
+        assert database.pages_per_partition == 300
+        assert database.total_pages == 19_200
+
+    def test_workload_shape(self):
+        workload = WorkloadConfig()
+        assert workload.num_terminals == 128
+        assert workload.think_time == 0.0
+        (cls,) = workload.classes
+        assert cls.file_count == 8
+        assert cls.pages_per_file == 8
+        assert cls.inst_per_page == 8_000
+
+    def test_write_probability_follows_8_writes_reading(self):
+        """The paper says "64 reads ... an average of 8 writes"; the
+        default write probability must make that arithmetic true."""
+        (cls,) = WorkloadConfig().classes
+        expected_writes = (
+            cls.file_count * cls.pages_per_file * cls.write_probability
+        )
+        assert expected_writes == pytest.approx(8.0)
+
+    def test_page_count_range_matches_footnote_12(self):
+        """Footnote 12: cohorts access between 4 and 12 pages/partition."""
+        cls = TransactionClassConfig()
+        assert cls.min_pages_per_file == 4
+        assert cls.max_pages_per_file == 12
+
+    def test_detection_interval(self):
+        assert SimulationConfig().detection_interval == 1.0
+
+    def test_cc_request_cost_negligible(self):
+        assert SimulationConfig().inst_per_cc_request == 0.0
+
+    def test_default_execution_pattern_parallel(self):
+        cls = TransactionClassConfig()
+        assert cls.execution_pattern is ExecutionPattern.PARALLEL
+
+
+class TestValidation:
+    def test_valid_default_passes(self):
+        SimulationConfig().validate()
+
+    def test_degree_must_divide_partitions(self):
+        config = SimulationConfig().with_database(placement_degree=3)
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_degree_cannot_exceed_nodes(self):
+        config = SimulationConfig(num_proc_nodes=4).with_database(
+            placement_degree=8
+        )
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_class_fractions_must_sum_to_one(self):
+        workload = WorkloadConfig(
+            classes=(
+                TransactionClassConfig(terminal_fraction=0.5),
+                TransactionClassConfig(
+                    name="other", terminal_fraction=0.4
+                ),
+            )
+        )
+        with pytest.raises(ValueError):
+            workload.validate()
+
+    def test_negative_think_time_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(think_time=-1.0).validate()
+
+    def test_invalid_disk_range_rejected(self):
+        resources = ResourceConfig(
+            min_disk_time=0.05, max_disk_time=0.01
+        )
+        with pytest.raises(ValueError):
+            resources.validate()
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(duration=0.0).validate()
+
+    def test_max_duration_below_duration_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(
+                duration=100.0, max_duration=50.0
+            ).validate()
+
+    def test_write_probability_bounds(self):
+        with pytest.raises(ValueError):
+            TransactionClassConfig(write_probability=1.5).validate()
+
+
+class TestBuilders:
+    def test_with_workload_replaces_field(self):
+        config = SimulationConfig().with_workload(think_time=12.0)
+        assert config.workload.think_time == 12.0
+        assert config.num_proc_nodes == 8
+
+    def test_with_database_replaces_field(self):
+        config = SimulationConfig().with_database(
+            pages_per_partition=1200
+        )
+        assert config.database.pages_per_partition == 1200
+
+    def test_with_resources_replaces_field(self):
+        config = SimulationConfig().with_resources(inst_per_msg=0.0)
+        assert config.resources.inst_per_msg == 0.0
+
+    def test_configs_are_hashable(self):
+        a = paper_default_config("2pl", think_time=8.0)
+        b = paper_default_config("2pl", think_time=8.0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_paper_default_colocated_degree(self):
+        config = paper_default_config(
+            "2pl", placement=PlacementKind.COLOCATED
+        )
+        assert config.database.placement_degree == 1
+
+    def test_label_mentions_key_knobs(self):
+        config = paper_default_config("bto", think_time=4.0)
+        label = config.label()
+        assert "bto" in label
+        assert "think=4" in label

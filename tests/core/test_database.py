@@ -1,0 +1,144 @@
+"""Tests for the database placement model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import DatabaseConfig, PlacementKind
+from repro.core.database import Database, PageId, PartitionId
+
+
+def make_db(degree, nodes=8, placement=PlacementKind.DECLUSTERED):
+    return Database(
+        DatabaseConfig(placement=placement, placement_degree=degree),
+        nodes,
+    )
+
+
+class TestColocatedPlacement:
+    def test_all_partitions_of_relation_at_one_node(self):
+        db = make_db(1, placement=PlacementKind.COLOCATED)
+        for relation in range(8):
+            nodes = {
+                db.node_of(p) for p in db.partitions_of(relation)
+            }
+            assert len(nodes) == 1
+
+    def test_relations_rotate_across_nodes(self):
+        db = make_db(1, placement=PlacementKind.COLOCATED)
+        homes = [
+            db.node_of(PartitionId(relation, 0))
+            for relation in range(8)
+        ]
+        assert homes == list(range(8))
+
+    def test_effective_degree_is_one(self):
+        db = make_db(1, placement=PlacementKind.COLOCATED)
+        assert db.effective_degree(0) == 1
+
+
+class TestDeclusteredPlacement:
+    @pytest.mark.parametrize("degree", [2, 4, 8])
+    def test_relation_spans_exactly_degree_nodes(self, degree):
+        db = make_db(degree)
+        for relation in range(8):
+            assert db.effective_degree(relation) == degree
+
+    @pytest.mark.parametrize("degree", [1, 2, 4, 8])
+    def test_load_balanced_across_nodes(self, degree):
+        """Every node must host the same number of partitions, so the
+        aggregate load is placement-independent (the §4.3 controlled
+        comparison depends on this)."""
+        db = make_db(
+            degree,
+            placement=(
+                PlacementKind.COLOCATED
+                if degree == 1
+                else PlacementKind.DECLUSTERED
+            ),
+        )
+        counts = [len(db.partitions_at(node)) for node in range(8)]
+        assert counts == [8] * 8
+
+    def test_eight_way_puts_one_partition_per_node(self):
+        db = make_db(8)
+        for relation in range(8):
+            nodes = [
+                db.node_of(p) for p in db.partitions_of(relation)
+            ]
+            assert sorted(nodes) == list(range(8))
+
+    def test_partition_groups_are_contiguous(self):
+        db = make_db(2)
+        for relation in range(8):
+            nodes = [
+                db.node_of(PartitionId(relation, p))
+                for p in range(8)
+            ]
+            # First four partitions at one node, last four at another.
+            assert len(set(nodes[:4])) == 1
+            assert len(set(nodes[4:])) == 1
+            assert nodes[0] != nodes[4]
+
+    def test_four_node_machine_spreads_all_relations(self):
+        db = Database(
+            DatabaseConfig(placement_degree=4), num_proc_nodes=4
+        )
+        for relation in range(8):
+            assert db.effective_degree(relation) == 4
+        counts = [len(db.partitions_at(node)) for node in range(4)]
+        assert counts == [16, 16, 16, 16]
+
+
+class TestPageMapping:
+    def test_page_node_matches_partition_node(self):
+        db = make_db(8)
+        page = PageId(3, 5, 120)
+        assert db.node_of_page(page) == db.node_of(PartitionId(3, 5))
+
+    def test_page_partition_id(self):
+        page = PageId(2, 4, 17)
+        assert page.partition_id == PartitionId(2, 4)
+
+    def test_pages_per_partition_passthrough(self):
+        db = make_db(8)
+        assert db.pages_per_partition == 300
+
+
+class TestValidation:
+    def test_indivisible_degree_rejected(self):
+        with pytest.raises(ValueError):
+            make_db(3)
+
+    def test_degree_above_node_count_rejected(self):
+        with pytest.raises(ValueError):
+            Database(
+                DatabaseConfig(placement_degree=8), num_proc_nodes=4
+            )
+
+
+@given(
+    degree=st.sampled_from([1, 2, 4, 8]),
+    relations=st.integers(min_value=1, max_value=16),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_every_partition_placed_once(degree, relations):
+    config = DatabaseConfig(
+        num_relations=relations,
+        placement=(
+            PlacementKind.COLOCATED
+            if degree == 1
+            else PlacementKind.DECLUSTERED
+        ),
+        placement_degree=degree,
+    )
+    db = Database(config, num_proc_nodes=8)
+    placed = [
+        partition
+        for node in range(8)
+        for partition in db.partitions_at(node)
+    ]
+    assert len(placed) == relations * 8
+    assert len(set(placed)) == relations * 8
+    for partition in placed:
+        assert db.node_of(partition) in range(8)

@@ -1,0 +1,111 @@
+"""Tests for the metrics collector and result record."""
+
+import pytest
+
+from repro.core.metrics import MetricsCollector, SimulationResult
+
+
+def make_result(**overrides):
+    values = dict(
+        label="test",
+        cc_algorithm="2pl",
+        think_time=0.0,
+        num_proc_nodes=8,
+        placement_degree=8,
+        pages_per_partition=300,
+        seed=1,
+        measured_duration=100.0,
+        commits=500,
+        aborts=50,
+        throughput=5.0,
+        mean_response_time=2.0,
+        response_time_ci=0.1,
+        abort_ratio=0.1,
+        mean_blocking_time=0.5,
+        blocking_count=100,
+        avg_node_cpu_utilization=0.8,
+        avg_disk_utilization=0.9,
+        host_cpu_utilization=0.1,
+        messages_sent=1000,
+    )
+    values.update(overrides)
+    return SimulationResult(**values)
+
+
+class TestMetricsCollector:
+    def test_commit_recording(self):
+        metrics = MetricsCollector()
+        metrics.record_commit(2.0)
+        metrics.record_commit(4.0)
+        assert metrics.commits.count == 2
+        assert metrics.response_times.mean == pytest.approx(3.0)
+
+    def test_throughput_over_window(self):
+        metrics = MetricsCollector()
+        metrics.reset(10.0)
+        for _ in range(50):
+            metrics.record_commit(1.0)
+        assert metrics.throughput(60.0) == pytest.approx(1.0)
+
+    def test_throughput_zero_window(self):
+        metrics = MetricsCollector()
+        metrics.reset(5.0)
+        assert metrics.throughput(5.0) == 0.0
+
+    def test_abort_ratio(self):
+        metrics = MetricsCollector()
+        for _ in range(4):
+            metrics.record_commit(1.0)
+        metrics.record_abort()
+        metrics.record_abort()
+        assert metrics.abort_ratio == pytest.approx(0.5)
+
+    def test_abort_ratio_no_commits(self):
+        metrics = MetricsCollector()
+        metrics.record_abort()
+        assert metrics.abort_ratio == 0.0
+
+    def test_reset_discards_warmup(self):
+        metrics = MetricsCollector()
+        metrics.record_commit(100.0)
+        metrics.record_abort()
+        metrics.record_blocking(9.0)
+        metrics.reset(30.0)
+        assert metrics.commits.count == 0
+        assert metrics.aborts.count == 0
+        assert metrics.blocking_times.count == 0
+
+    def test_blocking_times(self):
+        metrics = MetricsCollector()
+        metrics.record_blocking(1.0)
+        metrics.record_blocking(3.0)
+        assert metrics.blocking_times.mean == pytest.approx(2.0)
+
+    def test_abort_reasons_tracked(self):
+        metrics = MetricsCollector()
+        metrics.record_abort("wound")
+        metrics.record_abort("wound")
+        metrics.record_abort("local-deadlock")
+        metrics.record_abort(None)
+        assert metrics.abort_reasons == {
+            "wound": 2,
+            "local-deadlock": 1,
+            "unknown": 1,
+        }
+        metrics.reset(1.0)
+        assert metrics.abort_reasons == {}
+
+
+class TestSimulationResult:
+    def test_as_dict_roundtrip(self):
+        result = make_result()
+        data = result.as_dict()
+        assert data["cc"] == "2pl"
+        assert data["throughput"] == 5.0
+        assert data["abort_ratio"] == 0.1
+        assert data["messages"] == 1000
+
+    def test_str_contains_key_metrics(self):
+        text = str(make_result())
+        assert "tput=5.000" in text
+        assert "abort_ratio=0.100" in text

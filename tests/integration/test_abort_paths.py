@@ -1,0 +1,199 @@
+"""Targeted tests of the abort/restart machinery in the transaction
+manager: wound delivery rules, stale requests, restart delays, and the
+Snoop's message traffic."""
+
+import pytest
+
+from repro.core.config import (
+    PlacementKind,
+    TransactionClassConfig,
+    WorkloadConfig,
+    paper_default_config,
+)
+from repro.core.simulation import Simulation
+from repro.core.transaction import Transaction, TransactionState
+
+
+def build_simulation(algorithm="2pl", think_time=0.0, **kwargs):
+    config = paper_default_config(
+        algorithm, think_time=think_time, **kwargs
+    ).with_(duration=10.0, warmup=0.0)
+    return Simulation(config)
+
+
+def drain(simulation, until):
+    simulation.transaction_manager.start()
+    simulation.cc_algorithm.start_global(simulation)
+    simulation.env.run(until=until)
+    simulation.env.check_crashes()
+
+
+def make_transaction(simulation, terminal=0):
+    source = simulation.source
+    spec = source.generate(terminal)
+    txn = Transaction(
+        terminal, source.class_of(terminal), spec,
+        simulation.env.now,
+    )
+    simulation.cc_algorithm.assign_timestamps(
+        txn, simulation.env.now
+    )
+    txn.begin_attempt()
+    txn.abort_event = simulation.env.event()
+    return txn
+
+
+class TestAbortRequestDelivery:
+    def test_delivery_marks_and_fires(self):
+        simulation = build_simulation()
+        txn = make_transaction(simulation)
+        manager = simulation.transaction_manager
+        manager.request_abort(txn, "wound", from_node=0)
+        simulation.env.run(until=1.0)
+        assert txn.abort_pending
+        assert txn.abort_reason == "wound"
+        assert txn.abort_event.fired
+
+    def test_second_commit_phase_wound_ignored(self):
+        simulation = build_simulation()
+        txn = make_transaction(simulation)
+        manager = simulation.transaction_manager
+        manager.request_abort(txn, "wound", from_node=0)
+        # The transaction enters phase two before the message lands.
+        txn.state = TransactionState.COMMITTING
+        simulation.env.run(until=1.0)
+        assert not txn.abort_pending
+
+    def test_request_against_committing_txn_never_sent(self):
+        simulation = build_simulation()
+        txn = make_transaction(simulation)
+        txn.state = TransactionState.COMMITTING
+        manager = simulation.transaction_manager
+        sent_before = simulation.network.messages_sent.count
+        manager.request_abort(txn, "wound", from_node=0)
+        assert simulation.network.messages_sent.count == sent_before
+
+    def test_stale_attempt_request_dropped(self):
+        simulation = build_simulation()
+        txn = make_transaction(simulation)
+        manager = simulation.transaction_manager
+        manager.request_abort(txn, "wound", from_node=0)
+        # The transaction restarts before the message is delivered.
+        txn.begin_attempt()
+        txn.abort_event = simulation.env.event()
+        simulation.env.run(until=1.0)
+        assert not txn.abort_pending
+
+    def test_duplicate_requests_keep_first_reason(self):
+        simulation = build_simulation()
+        txn = make_transaction(simulation)
+        manager = simulation.transaction_manager
+        manager.request_abort(txn, "first", from_node=0)
+        simulation.env.run(until=0.5)
+        manager.request_abort(txn, "second", from_node=1)
+        simulation.env.run(until=1.0)
+        assert txn.abort_reason == "first"
+
+
+class TestRestartDelay:
+    def test_initial_estimate_used_before_any_commit(self):
+        simulation = build_simulation()
+        manager = simulation.transaction_manager
+        delays = [manager._restart_delay() for _ in range(500)]
+        initial = (
+            simulation.config.workload.initial_restart_delay
+        )
+        assert sum(delays) / len(delays) == pytest.approx(
+            initial, rel=0.2
+        )
+
+    def test_tracks_observed_response_times(self):
+        simulation = build_simulation()
+        manager = simulation.transaction_manager
+        for _ in range(100):
+            manager._observed_response.record(5.0)
+        delays = [manager._restart_delay() for _ in range(500)]
+        assert sum(delays) / len(delays) == pytest.approx(
+            5.0, rel=0.2
+        )
+
+
+class TestSnoop:
+    def test_snoop_generates_periodic_traffic(self):
+        """With everything idle, the only 2PL messages are the Snoop's
+        gather rounds: 2 x (N-1) per DetectionInterval."""
+        config = paper_default_config("2pl", think_time=0.0).with_(
+            duration=10.0, warmup=0.0
+        ).with_workload(num_terminals=1, think_time=1000.0)
+        simulation = Simulation(config)
+        simulation.cc_algorithm.start_global(simulation)
+        simulation.env.run(until=5.5)
+        # 5 rounds of 14 messages (plus nothing else running).
+        assert simulation.network.messages_sent.count == 5 * 14
+
+    def test_snoop_not_started_on_single_node(self):
+        config = paper_default_config(
+            "2pl",
+            think_time=1000.0,
+            num_proc_nodes=1,
+            placement=PlacementKind.COLOCATED,
+        ).with_(duration=5.0, warmup=0.0).with_workload(
+            num_terminals=1, think_time=1000.0
+        )
+        simulation = Simulation(config)
+        simulation.cc_algorithm.start_global(simulation)
+        simulation.env.run(until=4.0)
+        assert simulation.network.messages_sent.count == 0
+
+    def test_global_deadlock_eventually_broken(self):
+        """Drive a real cross-node deadlock and verify the Snoop (or
+        local detection) resolves it: the system keeps committing."""
+        workload = WorkloadConfig(
+            num_terminals=16,
+            think_time=0.0,
+            classes=(
+                TransactionClassConfig(write_probability=0.6),
+            ),
+        )
+        config = paper_default_config(
+            "2pl", pages_per_partition=30
+        ).with_(duration=30.0, warmup=0.0, workload=workload)
+        simulation = Simulation(config)
+        result = simulation.run()
+        assert result.commits > 5
+        assert result.aborts > 0  # deadlocks occurred and were broken
+
+
+class TestCohortProtocol:
+    def test_commit_message_count_per_transaction(self):
+        """A clean single-transaction run exchanges exactly 6 messages
+        per cohort (load, done, prepare, vote, commit, ack) plus Snoop
+        traffic-free algorithms send nothing else."""
+        config = paper_default_config("no_dc", think_time=1000.0).with_(
+            duration=30.0, warmup=0.0
+        ).with_workload(num_terminals=1, think_time=1000.0)
+        simulation = Simulation(config)
+        # Force exactly one transaction by shrinking the horizon below
+        # the think time: terminal thinks ~1000s, so instead use zero
+        # think for the first submission only.
+        # Simpler: run the standard workload with one terminal and no
+        # think time for a short window and check divisibility.
+        config = paper_default_config("no_dc", think_time=0.0).with_(
+            duration=3.0, warmup=0.0
+        ).with_workload(num_terminals=1)
+        simulation = Simulation(config)
+        result = simulation.run()
+        assert result.commits >= 1
+        # 8 cohorts x 6 messages per committed transaction; allow the
+        # final in-flight transaction's partial traffic.
+        expected_min = result.commits * 8 * 6
+        assert result.messages_sent >= expected_min
+        assert result.messages_sent <= expected_min + 8 * 6
+
+    def test_blocking_recorded_only_when_waiting(self):
+        result = Simulation(
+            paper_default_config("no_dc", think_time=0.0).with_(
+                duration=5.0, warmup=0.0
+            )
+        ).run()
+        assert result.blocking_count == 0

@@ -1,0 +1,129 @@
+"""Cross-algorithm comparison tests: the paper's headline orderings.
+
+These are the repository's acceptance tests for the reproduction: small
+but statistically meaningful simulations whose *relative* results must
+match the paper's conclusions.  They are heavier than unit tests
+(~couple of seconds each) but they are what "reproduced" means.
+"""
+
+import pytest
+
+from repro.core.config import PlacementKind, paper_default_config
+from repro.core.simulation import run_simulation
+from repro.experiments.runner import run_config
+
+
+def contended(algorithm, think_time=8.0, **kwargs):
+    """A moderately contended Table 4 configuration (memoized)."""
+    config = paper_default_config(
+        algorithm, think_time=think_time, **kwargs
+    ).with_(
+        duration=45.0,
+        warmup=15.0,
+        target_commits=250,
+        max_duration=400.0,
+    )
+    return run_config(config)
+
+
+class TestHeadlineOrderings:
+    """Paper §4.2/§4.3: the central performance ordering."""
+
+    def test_throughput_ordering_under_contention(self):
+        results = {
+            name: contended(name)
+            for name in ("no_dc", "2pl", "bto", "ww", "opt")
+        }
+        tput = {k: r.throughput for k, r in results.items()}
+        assert tput["no_dc"] >= tput["2pl"]
+        assert tput["2pl"] > tput["ww"]
+        assert tput["bto"] > tput["ww"]
+        assert tput["ww"] > tput["opt"]
+
+    def test_response_time_ordering_under_contention(self):
+        rt = {
+            name: contended(name).mean_response_time
+            for name in ("no_dc", "2pl", "ww", "opt")
+        }
+        assert rt["no_dc"] <= rt["2pl"]
+        assert rt["2pl"] < rt["ww"] < rt["opt"]
+
+    def test_abort_ratio_ordering(self):
+        ratios = {
+            name: contended(name).abort_ratio
+            for name in ("2pl", "bto", "ww", "opt")
+        }
+        assert ratios["2pl"] < ratios["bto"]
+        assert ratios["bto"] < ratios["ww"]
+        assert ratios["ww"] < ratios["opt"]
+
+    def test_no_dc_is_upper_bound(self):
+        baseline = contended("no_dc")
+        for name in ("2pl", "bto", "ww", "opt"):
+            assert contended(name).throughput <= (
+                baseline.throughput * 1.05
+            )
+
+
+class TestThrashing:
+    """Paper §4.2: 'all four of the algorithms thrash due to data
+    contention under high loads.'"""
+
+    @pytest.mark.parametrize("algorithm", ["2pl", "bto", "ww", "opt"])
+    def test_throughput_peaks_away_from_saturation(self, algorithm):
+        saturated = contended(algorithm, think_time=0.0)
+        moderate = contended(algorithm, think_time=8.0)
+        assert moderate.throughput >= saturated.throughput * 0.98
+
+    def test_no_dc_does_not_thrash(self):
+        saturated = contended("no_dc", think_time=0.0)
+        moderate = contended("no_dc", think_time=8.0)
+        # NO_DC only loses throughput to the lighter load, never to
+        # contention.
+        assert saturated.throughput >= moderate.throughput * 0.95
+
+
+class TestParallelismEffects:
+    """Paper §4.3: partitioning helps; 2PL's blocking time shrinks."""
+
+    def test_parallelism_speeds_up_moderate_load(self):
+        eight_way = contended("2pl", think_time=8.0)
+        one_way = contended(
+            "2pl",
+            think_time=8.0,
+            placement=PlacementKind.COLOCATED,
+            placement_degree=1,
+        )
+        assert (
+            eight_way.mean_response_time
+            < one_way.mean_response_time
+        )
+
+    def test_blocking_time_shrinks_with_parallelism(self):
+        """The paper's §4.3 comparison: 1-way blocking ~60% higher."""
+        eight_way = contended("2pl", think_time=8.0)
+        one_way = contended(
+            "2pl",
+            think_time=8.0,
+            placement=PlacementKind.COLOCATED,
+            placement_degree=1,
+        )
+        assert (
+            one_way.mean_blocking_time
+            > eight_way.mean_blocking_time * 1.15
+        )
+
+    def test_opt_gains_least_from_parallelism(self):
+        speedups = {}
+        for name in ("2pl", "opt"):
+            eight = contended(name, think_time=8.0)
+            one = contended(
+                name,
+                think_time=8.0,
+                placement=PlacementKind.COLOCATED,
+                placement_degree=1,
+            )
+            speedups[name] = (
+                one.mean_response_time / eight.mean_response_time
+            )
+        assert speedups["2pl"] > speedups["opt"]

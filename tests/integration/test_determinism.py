@@ -1,0 +1,111 @@
+"""Determinism and accounting-invariant tests.
+
+The simulator must be a pure function of its configuration (seed
+included): identical configs give bit-identical results, across every
+algorithm and placement.  On top of that, a set of accounting
+invariants must hold for any run — these are checked over a small
+randomized family of configurations with hypothesis.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import (
+    PlacementKind,
+    TransactionClassConfig,
+    WorkloadConfig,
+    paper_default_config,
+)
+from repro.core.simulation import run_simulation
+
+ALGORITHMS = ("2pl", "ww", "bto", "opt", "no_dc", "wd", "ir")
+
+
+def tiny_config(algorithm, seed=7, think_time=1.0, degree=8,
+                copies=1, terminals=16, write_probability=0.125):
+    placement = (
+        PlacementKind.COLOCATED if degree == 1
+        else PlacementKind.DECLUSTERED
+    )
+    config = paper_default_config(
+        algorithm,
+        think_time=think_time,
+        placement=placement,
+        placement_degree=degree,
+        seed=seed,
+    ).with_database(copies=copies)
+    workload = WorkloadConfig(
+        num_terminals=terminals,
+        think_time=think_time,
+        classes=(
+            TransactionClassConfig(
+                write_probability=write_probability
+            ),
+        ),
+    )
+    return config.with_(duration=6.0, warmup=2.0, workload=workload)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_identical_configs_identical_results(self, algorithm):
+        first = run_simulation(tiny_config(algorithm))
+        second = run_simulation(tiny_config(algorithm))
+        assert first.as_dict() == second.as_dict()
+
+    def test_algorithm_changes_only_cc_behaviour(self):
+        """Common random numbers: with no contention effects (light
+        load), all algorithms see the same workload and produce the
+        same commits."""
+        counts = {
+            algorithm: run_simulation(
+                tiny_config(
+                    algorithm,
+                    think_time=30.0,
+                    terminals=4,
+                    write_probability=0.0,
+                )
+            ).commits
+            for algorithm in ("2pl", "bto", "opt", "no_dc")
+        }
+        assert len(set(counts.values())) == 1, counts
+
+
+@given(
+    algorithm=st.sampled_from(ALGORITHMS),
+    seed=st.integers(min_value=0, max_value=10_000),
+    degree=st.sampled_from([1, 2, 4, 8]),
+    copies=st.sampled_from([1, 2]),
+    think_time=st.sampled_from([0.0, 1.0, 5.0]),
+)
+@settings(max_examples=40, deadline=None)
+def test_accounting_invariants(
+    algorithm, seed, degree, copies, think_time
+):
+    result = run_simulation(
+        tiny_config(
+            algorithm,
+            seed=seed,
+            think_time=think_time,
+            degree=degree,
+            copies=copies,
+        )
+    )
+    assert result.commits >= 0
+    assert result.aborts >= 0
+    if result.commits:
+        assert result.abort_ratio == pytest.approx(
+            result.aborts / result.commits
+        )
+        assert result.throughput == pytest.approx(
+            result.commits / result.measured_duration
+        )
+        assert result.mean_response_time > 0
+    assert 0.0 <= result.avg_disk_utilization <= 1.0
+    assert 0.0 <= result.avg_node_cpu_utilization <= 1.0
+    assert 0.0 <= result.host_cpu_utilization <= 1.0
+    if algorithm in ("opt", "no_dc", "ir"):
+        assert result.blocking_count == 0
+    if algorithm == "no_dc":
+        assert result.aborts == 0

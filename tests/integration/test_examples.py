@@ -1,0 +1,46 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are part of the public surface; these tests run each one in a
+subprocess with a tight time budget (the scripts themselves keep their
+simulations short).  Scripts that take arguments are exercised with a
+cheap setting.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+CASES = [
+    ("quickstart.py", []),
+    ("scaling_study.py", ["96"]),
+    ("partitioning_study.py", ["96"]),
+    ("custom_workload.py", []),
+    ("overheads_study.py", []),
+    ("replication_study.py", ["0"]),
+]
+
+
+@pytest.mark.parametrize(
+    ("script", "args"), CASES, ids=[case[0] for case in CASES]
+)
+def test_example_runs(script, args):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    completed = subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True,
+        text=True,
+        timeout=900,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_every_example_file_is_covered():
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    covered = {script for script, _args in CASES}
+    assert scripts == covered

@@ -1,0 +1,297 @@
+"""Tests for the experiment harness (registry, runner, CLI, figures).
+
+Figure generators run at a tiny throwaway fidelity so the whole module
+stays fast; the goal is wiring correctness (right curves, right axes,
+caching), not statistical quality — EXPERIMENTS.md covers that.
+"""
+
+import pytest
+
+from repro.core.config import paper_default_config
+from repro.experiments.cli import main
+from repro.experiments.fidelity import Fidelity
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.runner import clear_cache, run_config, sweep
+from repro.experiments import overheads, partitioning, scaling
+
+
+def tiny_fidelity():
+    return Fidelity(
+        name="tiny",
+        duration=4.0,
+        warmup=1.0,
+        target_commits=0,
+        max_duration=4.0,
+        think_times=(0.0, 60.0),
+    )
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestRunnerCache:
+    def test_identical_config_runs_once(self, monkeypatch):
+        calls = []
+        from repro.experiments import runner as runner_module
+
+        original = runner_module.Simulation
+
+        class CountingSimulation(original):
+            def __init__(self, config, **kwargs):
+                calls.append(config)
+                super().__init__(config, **kwargs)
+
+        monkeypatch.setattr(
+            runner_module, "Simulation", CountingSimulation
+        )
+        config = paper_default_config("no_dc", think_time=60.0).with_(
+            duration=3.0, warmup=0.0
+        ).with_workload(num_terminals=4)
+        first = run_config(config)
+        second = run_config(config)
+        assert len(calls) == 1
+        assert first is second
+
+    def test_sweep_covers_grid(self):
+        fidelity = tiny_fidelity()
+
+        def factory(algorithm, think_time):
+            return fidelity.apply(
+                paper_default_config(
+                    algorithm, think_time=think_time
+                ).with_workload(num_terminals=4)
+            )
+
+        results = sweep(("no_dc", "opt"), (0.0, 60.0), factory)
+        assert set(results) == {
+            ("no_dc", 0.0),
+            ("no_dc", 60.0),
+            ("opt", 0.0),
+            ("opt", 60.0),
+        }
+
+
+class TestFidelity:
+    def test_presets_resolve(self):
+        assert Fidelity.smoke().name == "smoke"
+        assert Fidelity.quick().name == "quick"
+        assert Fidelity.bench().name == "bench"
+        assert Fidelity.full().name == "full"
+
+    def test_preset_scale_ordering(self):
+        """Presets must be ordered by statistical quality."""
+        smoke, bench, quick, full = (
+            Fidelity.smoke(),
+            Fidelity.bench(),
+            Fidelity.quick(),
+            Fidelity.full(),
+        )
+        assert smoke.duration < bench.duration <= quick.duration
+        assert quick.duration < full.duration
+        assert full.target_commits > quick.target_commits
+        assert len(full.think_times) > len(quick.think_times)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FIDELITY", "smoke")
+        assert Fidelity.from_env().name == "smoke"
+        monkeypatch.setenv("REPRO_FIDELITY", "bogus")
+        with pytest.raises(ValueError):
+            Fidelity.from_env()
+
+    def test_apply_stamps_run_controls(self):
+        fidelity = tiny_fidelity()
+        config = fidelity.apply(paper_default_config("2pl"))
+        assert config.duration == 4.0
+        assert config.warmup == 1.0
+
+    def test_think_time_override(self):
+        fidelity = tiny_fidelity().with_think_times((1.0, 2.0))
+        assert fidelity.think_times == (1.0, 2.0)
+
+
+class TestRegistry:
+    def test_all_17_figures_present(self):
+        for number in range(2, 18):
+            assert f"fig{number}" in EXPERIMENTS
+
+    def test_ablations_present(self):
+        for key in (
+            "scaling4",
+            "startup20k",
+            "txn32",
+            "seq-vs-par",
+            "writeprob",
+            "overheads-baseline",
+        ):
+            assert key in EXPERIMENTS
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    def test_every_experiment_has_a_benchmark(self):
+        """Each registered experiment must be regenerable from the
+        benchmark suite: some bench_*.py file references its id."""
+        import pathlib
+
+        bench_dir = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "benchmarks"
+        )
+        corpus = "\n".join(
+            path.read_text(encoding="utf-8")
+            for path in bench_dir.glob("bench_*.py")
+        )
+        missing = [
+            experiment_id
+            for experiment_id in EXPERIMENTS
+            if f'"{experiment_id}"' not in corpus
+        ]
+        assert missing == []
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("FIG2").id == "fig2"
+
+
+class TestFigureGenerators:
+    def test_figure2_structure(self):
+        figures = scaling.figure2(tiny_fidelity())
+        assert len(figures) == 2
+        for figure in figures:
+            assert set(figure.curves) == {
+                "2pl", "bto", "ww", "opt", "no_dc"
+            }
+            assert figure.x_values == [0.0, 60.0]
+
+    def test_figure5_speedups_positive(self):
+        (figure,) = scaling.figure5(tiny_fidelity())
+        for curve in figure.curves.values():
+            assert all(v is None or v > 0 for v in curve)
+
+    def test_figure10_excludes_baseline(self):
+        (figure,) = partitioning.figure10(tiny_fidelity())
+        assert "no_dc" not in figure.curves
+        assert set(figure.curves) == {"2pl", "bto", "ww", "opt"}
+
+    def test_figure14_x_axis_is_degree(self):
+        (figure,) = overheads.figure14(tiny_fidelity())
+        assert figure.x_values == [1.0, 2.0, 4.0, 8.0]
+        for curve in figure.curves.values():
+            # Self-ratio is exactly 1 whenever the tiny run produced
+            # any commits at degree 1 (None otherwise).
+            assert curve[0] is None or curve[0] == pytest.approx(1.0)
+
+    def test_shared_sweep_is_cached_across_figures(self, monkeypatch):
+        calls = []
+        from repro.experiments import runner as runner_module
+
+        original = runner_module.Simulation
+
+        class CountingSimulation(original):
+            def __init__(self, config, **kwargs):
+                calls.append(config)
+                super().__init__(config, **kwargs)
+
+        monkeypatch.setattr(
+            runner_module, "Simulation", CountingSimulation
+        )
+        fidelity = tiny_fidelity()
+        scaling.figure2(fidelity)
+        first_count = len(calls)
+        scaling.figure3(fidelity)  # same underlying sweeps
+        assert len(calls) == first_count
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig2" in output
+        assert "fig17" in output
+
+    def test_run_unknown_experiment_fails(self, capsys):
+        assert main(["run", "fig99"]) == 2
+
+    def test_run_writes_output_file(self, tmp_path, capsys,
+                                    monkeypatch):
+        monkeypatch.setenv("REPRO_FIDELITY", "smoke")
+        # Patch the experiment table with a fast fake to keep CLI
+        # tests quick.
+        from repro.analysis.series import FigureSeries
+        from repro.experiments import cli as cli_module
+        from repro.experiments.registry import Experiment
+
+        def fake_run(_fidelity):
+            series = FigureSeries(
+                title="Fake", x_label="x", y_label="y",
+                x_values=[1.0],
+            )
+            series.add_curve("2pl", [2.0])
+            return [series]
+
+        fake = {"fake": Experiment("fake", "a fake figure", fake_run)}
+        monkeypatch.setattr(cli_module, "EXPERIMENTS", fake)
+        monkeypatch.setattr(
+            cli_module, "get_experiment", lambda i: fake[i]
+        )
+        assert main(["run", "fake", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "fake.txt").read_text().startswith("Fake")
+
+    def test_run_chart_and_exports(self, tmp_path, capsys,
+                                   monkeypatch):
+        from repro.analysis.series import FigureSeries
+        from repro.experiments import cli as cli_module
+        from repro.experiments.registry import Experiment
+
+        def fake_run(_fidelity):
+            series = FigureSeries(
+                title="Fake chart", x_label="x", y_label="y",
+                x_values=[1.0, 2.0],
+            )
+            series.add_curve("2pl", [2.0, 3.0])
+            return [series]
+
+        fake = {"fake": Experiment("fake", "fake", fake_run)}
+        monkeypatch.setattr(cli_module, "EXPERIMENTS", fake)
+        monkeypatch.setattr(
+            cli_module, "get_experiment", lambda i: fake[i]
+        )
+        code = main(
+            [
+                "run", "fake", "--fidelity", "smoke", "--chart",
+                "--out", str(tmp_path), "--csv", "--json",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "o=2pl" in output  # the chart legend
+        assert (tmp_path / "fake.csv").exists()
+        assert (tmp_path / "fake.json").exists()
+
+    def test_simulate_subcommand(self, capsys):
+        code = main(
+            [
+                "simulate", "--algorithm", "bto", "--think", "30",
+                "--terminals", "8", "--duration", "5",
+                "--warmup", "1",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "cc               bto" in output
+        assert "throughput" in output
+
+    def test_simulate_one_way_placement(self, capsys):
+        code = main(
+            [
+                "simulate", "--degree", "1", "--think", "30",
+                "--terminals", "4", "--duration", "4",
+                "--warmup", "1",
+            ]
+        )
+        assert code == 0
+        assert "degree           1" in capsys.readouterr().out

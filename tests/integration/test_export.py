@@ -1,0 +1,78 @@
+"""Tests for CSV/JSON export of figures and results."""
+
+import csv
+import io
+import json
+
+from repro.analysis.series import FigureSeries
+from repro.experiments.export import (
+    figure_to_csv,
+    figure_to_dict,
+    figures_to_json,
+    results_to_csv,
+    write_figures,
+)
+from tests.core.test_metrics import make_result
+
+
+def make_series():
+    series = FigureSeries(
+        title="Export test",
+        x_label="think",
+        y_label="tput",
+        x_values=[0.0, 8.0],
+    )
+    series.add_curve("2pl", [10.0, 9.0])
+    series.add_curve("opt", [None, 6.0])
+    return series
+
+
+class TestFigureCsv:
+    def test_header_and_rows(self):
+        rows = list(csv.reader(io.StringIO(figure_to_csv(make_series()))))
+        assert rows[0] == ["think", "2pl", "opt"]
+        assert rows[1] == ["0.0", "10.0", ""]
+        assert rows[2] == ["8.0", "9.0", "6.0"]
+
+
+class TestFigureJson:
+    def test_roundtrip(self):
+        data = json.loads(figures_to_json([make_series()]))
+        assert len(data) == 1
+        assert data[0]["title"] == "Export test"
+        assert data[0]["curves"]["2pl"] == [10.0, 9.0]
+        assert data[0]["curves"]["opt"] == [None, 6.0]
+
+    def test_dict_fields(self):
+        payload = figure_to_dict(make_series())
+        assert payload["x_values"] == [0.0, 8.0]
+        assert payload["y_label"] == "tput"
+
+
+class TestResultsCsv:
+    def test_rows_match_results(self):
+        text = results_to_csv(
+            [make_result(), make_result(commits=7, throughput=0.7)]
+        )
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 2
+        assert rows[1]["commits"] == "7"
+
+    def test_empty_is_empty(self):
+        assert results_to_csv([]) == ""
+
+
+class TestWriteFigures:
+    def test_csv_and_json_files(self, tmp_path):
+        figures = [make_series(), make_series()]
+        written = write_figures(
+            figures, tmp_path, "fig2",
+            csv_output=True, json_output=True,
+        )
+        names = sorted(path.name for path in written)
+        assert names == ["fig2.2.csv", "fig2.csv", "fig2.json"]
+        assert (tmp_path / "fig2.json").exists()
+
+    def test_nothing_requested_nothing_written(self, tmp_path):
+        written = write_figures([make_series()], tmp_path, "x")
+        assert written == []

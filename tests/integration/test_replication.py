@@ -1,0 +1,181 @@
+"""Tests for the replication extension (read-one/write-all).
+
+The paper's §3.1 model supports replicated files but its experiments do
+not exercise them; this extension does, and footnote 13's claim about
+OPT vs 2PL with replicated data and expensive messages is reproduced in
+the `replication` experiment.  These tests pin the mechanics: placement
+of copies, access generation, end-to-end execution, and one-copy
+serializability.
+"""
+
+import pytest
+
+from repro.core.audit import Auditor
+from repro.core.config import (
+    DatabaseConfig,
+    PlacementKind,
+    TransactionClassConfig,
+    WorkloadConfig,
+    paper_default_config,
+)
+from repro.core.database import Database, PartitionId
+from repro.core.simulation import Simulation, run_simulation
+from repro.core.workload import Source
+from repro.sim.streams import RandomStreams
+
+
+def replicated_config(algorithm, copies=2, think_time=2.0, **kwargs):
+    config = paper_default_config(
+        algorithm, think_time=think_time, **kwargs
+    ).with_database(copies=copies)
+    return config.with_(duration=12.0, warmup=3.0).with_workload(
+        num_terminals=32
+    )
+
+
+class TestReplicatedPlacement:
+    def test_copies_on_distinct_nodes(self):
+        db = Database(DatabaseConfig(copies=2), num_proc_nodes=8)
+        for relation in range(8):
+            for partition in range(8):
+                nodes = db.nodes_of_partition(
+                    PartitionId(relation, partition)
+                )
+                assert len(nodes) == 2
+                assert len(set(nodes)) == 2
+
+    def test_load_stays_balanced(self):
+        db = Database(DatabaseConfig(copies=2), num_proc_nodes=8)
+        counts = [len(db.partitions_at(node)) for node in range(8)]
+        assert counts == [16] * 8
+
+    def test_three_copies(self):
+        db = Database(
+            DatabaseConfig(copies=3, placement_degree=8),
+            num_proc_nodes=8,
+        )
+        nodes = db.nodes_of_partition(PartitionId(0, 0))
+        assert len(set(nodes)) == 3
+
+    def test_primary_is_first(self):
+        db = Database(DatabaseConfig(copies=2), num_proc_nodes=8)
+        partition = PartitionId(2, 3)
+        assert (
+            db.node_of(partition)
+            == db.nodes_of_partition(partition)[0]
+        )
+
+    def test_too_many_copies_rejected(self):
+        with pytest.raises(ValueError):
+            Database(DatabaseConfig(copies=3), num_proc_nodes=2)
+
+    def test_single_copy_unchanged(self):
+        db = Database(DatabaseConfig(copies=1), num_proc_nodes=8)
+        assert db.nodes_of_partition(PartitionId(0, 0)) == (
+            db.node_of(PartitionId(0, 0)),
+        )
+
+
+class TestReplicatedWorkload:
+    def make_source(self, copies=2):
+        database = Database(
+            DatabaseConfig(copies=copies), num_proc_nodes=8
+        )
+        return Source(
+            WorkloadConfig(num_terminals=16), database,
+            RandomStreams(5),
+        )
+
+    def test_updates_touch_every_copy(self):
+        source = self.make_source()
+        for terminal in range(4):
+            spec = source.generate(terminal)
+            writes_per_page = {}
+            for cohort in spec.cohorts:
+                for access in cohort.accesses:
+                    if access.is_update:
+                        writes_per_page.setdefault(
+                            access.page, set()
+                        ).add(cohort.node)
+            database = source.database
+            for page, nodes in writes_per_page.items():
+                assert nodes == set(database.nodes_of_page(page))
+
+    def test_reads_touch_exactly_one_copy(self):
+        source = self.make_source()
+        spec = source.generate(0)
+        reads_per_page = {}
+        for cohort in spec.cohorts:
+            for access in cohort.accesses:
+                if not access.install_only:
+                    reads_per_page.setdefault(
+                        access.page, []
+                    ).append(cohort.node)
+        for page, nodes in reads_per_page.items():
+            assert len(nodes) == 1
+            assert nodes[0] in source.database.nodes_of_page(page)
+
+    def test_install_legs_marked(self):
+        source = self.make_source()
+        spec = source.generate(0)
+        installs = [
+            access
+            for cohort in spec.cohorts
+            for access in cohort.accesses
+            if access.install_only
+        ]
+        updates = [
+            access
+            for cohort in spec.cohorts
+            for access in cohort.accesses
+            if access.is_update and not access.install_only
+        ]
+        # Every genuine update produces exactly one install leg
+        # (copies=2), and install legs are writes.
+        assert len(installs) == len(updates)
+        assert all(access.is_update for access in installs)
+
+    def test_read_counts_unchanged_by_replication(self):
+        """Read-one: the number of page *reads* (hence disk reads)
+        must not grow with the replication factor."""
+        single = self.make_source(copies=1).generate(3)
+        double = self.make_source(copies=2).generate(3)
+        assert single.num_reads == double.num_reads
+
+
+class TestReplicatedExecution:
+    @pytest.mark.parametrize("algorithm", ["2pl", "ww", "bto", "opt"])
+    def test_commits_and_one_copy_serializability(self, algorithm):
+        auditor = Auditor()
+        config = replicated_config(algorithm)
+        result = Simulation(config, auditor=auditor).run()
+        assert result.commits > 5
+        cycle = auditor.find_cycle()
+        assert cycle is None, f"{algorithm}: {cycle}"
+
+    def test_replication_costs_throughput_under_load(self):
+        """Write-all doubles the write work, so a write-heavy load
+        commits less with 2 copies than with 1."""
+        def run(copies):
+            config = paper_default_config(
+                "no_dc", think_time=0.0
+            ).with_database(copies=copies).with_(
+                duration=15.0, warmup=5.0
+            )
+            return run_simulation(config)
+
+        single = run(1)
+        double = run(2)
+        assert double.throughput < single.throughput
+
+    def test_more_messages_with_replication(self):
+        def run(copies):
+            config = replicated_config("2pl", copies=copies)
+            return run_simulation(config)
+
+        single = run(1)
+        double = run(2)
+        assert (
+            double.messages_sent / max(1, double.commits)
+            > single.messages_sent / max(1, single.commits)
+        )

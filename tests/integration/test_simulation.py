@@ -1,0 +1,265 @@
+"""End-to-end simulation tests.
+
+These run small but complete simulations (all components wired) and
+check global invariants: transactions commit, statistics are coherent,
+runs are deterministic under a fixed seed, and the resource balance
+matches the paper's stated design point.
+"""
+
+import pytest
+
+from repro.cc.registry import ALGORITHM_NAMES
+from repro.core.config import (
+    ExecutionPattern,
+    PlacementKind,
+    TransactionClassConfig,
+    WorkloadConfig,
+    paper_default_config,
+)
+from repro.core.simulation import Simulation, run_simulation
+
+
+def small_config(algorithm, think_time=1.0, **kwargs):
+    """A fast-to-simulate configuration with real contention."""
+    config = paper_default_config(
+        algorithm, think_time=think_time, **kwargs
+    )
+    return config.with_(duration=12.0, warmup=3.0).with_workload(
+        num_terminals=32
+    )
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+    def test_commits_happen_and_no_crashes(self, algorithm):
+        result = run_simulation(small_config(algorithm))
+        assert result.commits > 0
+        assert result.throughput > 0
+        assert result.mean_response_time > 0
+
+    def test_no_dc_never_aborts(self):
+        result = run_simulation(small_config("no_dc", think_time=0.0))
+        assert result.aborts == 0
+        assert result.abort_ratio == 0.0
+
+    def test_contended_locking_blocks(self):
+        result = run_simulation(small_config("2pl", think_time=0.0))
+        assert result.blocking_count > 0
+        assert result.mean_blocking_time > 0
+
+    def test_opt_never_blocks(self):
+        result = run_simulation(small_config("opt", think_time=0.0))
+        assert result.blocking_count == 0
+
+    def test_deterministic_under_seed(self):
+        first = run_simulation(small_config("2pl"))
+        second = run_simulation(small_config("2pl"))
+        assert first.commits == second.commits
+        assert first.aborts == second.aborts
+        assert first.mean_response_time == pytest.approx(
+            second.mean_response_time
+        )
+
+    def test_seed_changes_results(self):
+        base = small_config("2pl")
+        first = run_simulation(base)
+        second = run_simulation(base.with_(seed=99))
+        assert (
+            first.commits != second.commits
+            or first.mean_response_time
+            != pytest.approx(second.mean_response_time)
+        )
+
+    def test_messages_flow(self):
+        result = run_simulation(small_config("2pl"))
+        # Every committed cohort exchanges 6 messages with the host.
+        assert result.messages_sent >= result.commits * 6
+
+    def test_utilizations_are_fractions(self):
+        result = run_simulation(small_config("bto", think_time=0.0))
+        assert 0.0 < result.avg_disk_utilization <= 1.0
+        assert 0.0 < result.avg_node_cpu_utilization <= 1.0
+        assert 0.0 <= result.host_cpu_utilization <= 1.0
+
+    def test_io_bound_design_point(self):
+        """Paper §4.1: when the disks saturate, node CPUs sit at
+        80-90% — the system is slightly I/O bound."""
+        config = paper_default_config(
+            "no_dc", think_time=0.0
+        ).with_(duration=30.0, warmup=10.0)
+        result = run_simulation(config)
+        assert result.avg_disk_utilization > 0.9
+        assert 0.7 < result.avg_node_cpu_utilization < 1.0
+        assert (
+            result.avg_node_cpu_utilization
+            < result.avg_disk_utilization
+        )
+
+
+class TestConfigurationsRun:
+    def test_single_node_machine(self):
+        config = small_config(
+            "2pl",
+            num_proc_nodes=1,
+            placement=PlacementKind.COLOCATED,
+        )
+        result = run_simulation(config)
+        assert result.commits > 0
+        assert result.num_proc_nodes == 1
+        assert result.placement_degree == 1
+
+    @pytest.mark.parametrize("degree", [1, 2, 4])
+    def test_partial_declustering(self, degree):
+        config = small_config(
+            "ww",
+            placement=(
+                PlacementKind.COLOCATED
+                if degree == 1
+                else PlacementKind.DECLUSTERED
+            ),
+            placement_degree=degree,
+        )
+        result = run_simulation(config)
+        assert result.commits > 0
+        assert result.placement_degree == degree
+
+    def test_four_node_machine(self):
+        config = small_config("bto", num_proc_nodes=4)
+        result = run_simulation(config)
+        assert result.commits > 0
+
+    def test_sequential_execution_pattern(self):
+        config = small_config("2pl").with_workload(
+            classes=(
+                TransactionClassConfig(
+                    execution_pattern=ExecutionPattern.SEQUENTIAL
+                ),
+            )
+        )
+        result = run_simulation(config)
+        assert result.commits > 0
+
+    def test_sequential_slower_than_parallel_at_light_load(self):
+        def run(pattern):
+            config = paper_default_config(
+                "no_dc", think_time=30.0
+            ).with_(duration=40.0, warmup=10.0).with_workload(
+                num_terminals=8,
+                classes=(
+                    TransactionClassConfig(execution_pattern=pattern),
+                ),
+            )
+            return run_simulation(config)
+
+        sequential = run(ExecutionPattern.SEQUENTIAL)
+        parallel = run(ExecutionPattern.PARALLEL)
+        assert (
+            parallel.mean_response_time
+            < sequential.mean_response_time
+        )
+
+    def test_zero_message_cost(self):
+        config = small_config("opt").with_resources(inst_per_msg=0.0)
+        result = run_simulation(config)
+        assert result.commits > 0
+
+    def test_heavy_message_cost_slows_system(self):
+        light = run_simulation(
+            small_config("no_dc", think_time=0.0)
+        )
+        heavy = run_simulation(
+            small_config("no_dc", think_time=0.0).with_resources(
+                inst_per_msg=50_000.0
+            )
+        )
+        assert heavy.throughput < light.throughput
+
+    def test_cc_request_cost_consumes_cpu(self):
+        free = run_simulation(small_config("2pl", think_time=0.0))
+        costed = run_simulation(
+            small_config("2pl", think_time=0.0).with_(
+                inst_per_cc_request=5_000.0
+            )
+        )
+        assert (
+            costed.avg_node_cpu_utilization
+            > free.avg_node_cpu_utilization
+        ) or costed.throughput < free.throughput
+
+    def test_target_commits_extends_run(self):
+        config = small_config("no_dc", think_time=5.0).with_(
+            duration=5.0, target_commits=60, max_duration=120.0
+        )
+        result = run_simulation(config)
+        assert result.commits >= 60 or result.measured_duration >= 115.0
+
+
+class TestAbortReasons:
+    """Each algorithm aborts for its own characteristic reasons."""
+
+    def test_ww_aborts_are_wounds(self):
+        result = run_simulation(small_config("ww", think_time=0.0))
+        assert set(result.abort_reasons) == {"wound"}
+
+    def test_bto_aborts_are_timestamp_rejects(self):
+        result = run_simulation(small_config("bto", think_time=0.0))
+        assert set(result.abort_reasons) == {"timestamp-reject"}
+
+    def test_opt_aborts_are_certification_failures(self):
+        result = run_simulation(small_config("opt", think_time=0.0))
+        assert set(result.abort_reasons) == {"certification-failed"}
+
+    def test_2pl_aborts_are_deadlocks(self):
+        result = run_simulation(small_config("2pl", think_time=0.0))
+        assert set(result.abort_reasons) <= {
+            "local-deadlock",
+            "global-deadlock",
+        }
+        assert result.abort_reasons
+
+    def test_reason_counts_sum_to_aborts(self):
+        result = run_simulation(small_config("ww", think_time=0.0))
+        assert sum(result.abort_reasons.values()) == result.aborts
+
+
+class TestRestartBehaviour:
+    def test_aborted_transactions_eventually_commit(self):
+        """Under WW at heavy load, wounded transactions must still get
+        through (no livelock) thanks to original-timestamp restarts."""
+        result = run_simulation(small_config("ww", think_time=0.0))
+        assert result.aborts > 0
+        assert result.commits > 0
+
+    def test_abort_ratio_consistent_with_counts(self):
+        result = run_simulation(small_config("opt", think_time=0.0))
+        assert result.abort_ratio == pytest.approx(
+            result.aborts / result.commits
+        )
+
+
+class TestSimulationObject:
+    def test_simulation_exposes_components(self):
+        simulation = Simulation(small_config("2pl"))
+        assert len(simulation.proc_nodes) == 8
+        assert len(simulation.node_cc_managers) == 8
+        assert simulation.host.is_host
+        assert all(
+            not node.is_host for node in simulation.proc_nodes
+        )
+
+    def test_run_returns_result_with_label(self):
+        simulation = Simulation(small_config("bto"))
+        result = simulation.run()
+        assert "bto" in result.label
+        assert result.cc_algorithm == "bto"
+
+    def test_crash_check_raises_on_model_bug(self):
+        simulation = Simulation(small_config("2pl"))
+
+        def broken():
+            yield simulation.env.timeout(1.0)
+            raise RuntimeError("injected failure")
+
+        simulation.env.process(broken())
+        with pytest.raises(Exception, match="injected failure"):
+            simulation.run()

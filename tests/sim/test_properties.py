@@ -1,0 +1,169 @@
+"""Property-based tests (hypothesis) for the kernel and resources."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.kernel import Environment
+from repro.sim.resources import CPU, Disk, DiskRequestKind
+from repro.sim.stats import Tally, TimeWeighted
+
+
+@st.composite
+def job_sets(draw):
+    count = draw(st.integers(min_value=1, max_value=12))
+    jobs = [
+        (
+            draw(st.floats(min_value=0.0, max_value=2.0)),  # arrival
+            draw(st.integers(min_value=1, max_value=500_000)),  # work
+        )
+        for _ in range(count)
+    ]
+    return jobs
+
+
+class TestProcessorSharingProperties:
+    @given(job_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_work_conservation(self, jobs):
+        """Total completion span >= total work / rate, and every job
+        finishes."""
+        env = Environment()
+        cpu = CPU(env, mips=1.0)
+        finishes = []
+
+        def worker(arrival, work):
+            yield env.timeout(arrival)
+            yield cpu.execute(work)
+            finishes.append(env.now)
+
+        for arrival, work in jobs:
+            env.process(worker(arrival, work))
+        env.run()
+        assert len(finishes) == len(jobs)
+        total_work_seconds = sum(w for _, w in jobs) / 1e6
+        first_arrival = min(a for a, _ in jobs)
+        # The CPU cannot finish everything faster than serial service
+        # starting at the first arrival.
+        assert max(finishes) >= first_arrival + total_work_seconds - 1e-6
+
+    @given(job_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_no_job_beats_dedicated_service(self, jobs):
+        """No job finishes before arrival + its own dedicated time."""
+        env = Environment()
+        cpu = CPU(env, mips=1.0)
+        violations = []
+
+        def worker(arrival, work):
+            yield env.timeout(arrival)
+            start = env.now
+            yield cpu.execute(work)
+            elapsed = env.now - start
+            if elapsed < work / 1e6 - 1e-9:
+                violations.append((work, elapsed))
+
+        for arrival, work in jobs:
+            env.process(worker(arrival, work))
+        env.run()
+        assert violations == []
+
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=200_000),
+            min_size=2,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_simultaneous_jobs_finish_in_size_order(self, works):
+        """With equal arrivals, PS completes jobs in work order."""
+        env = Environment()
+        cpu = CPU(env, mips=1.0)
+        finished = []
+
+        def worker(index, work):
+            yield cpu.execute(work)
+            finished.append(index)
+
+        for index, work in enumerate(works):
+            env.process(worker(index, work))
+        env.run()
+        finish_works = [works[i] for i in finished]
+        assert finish_works == sorted(finish_works)
+
+
+class TestDiskProperties:
+    @given(
+        st.lists(
+            st.sampled_from(
+                [DiskRequestKind.READ, DiskRequestKind.WRITE]
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_all_requests_eventually_served(self, kinds, seed):
+        env = Environment()
+        disk = Disk(env, 0.001, 0.002, random.Random(seed))
+        served = []
+
+        def client(index, kind):
+            yield disk.access(kind)
+            served.append(index)
+
+        for index, kind in enumerate(kinds):
+            env.process(client(index, kind))
+        env.run()
+        assert sorted(served) == list(range(len(kinds)))
+        assert disk.reads_served + disk.writes_served == len(kinds)
+
+
+class TestStatsProperties:
+    @given(
+        st.lists(
+            st.floats(
+                min_value=-1e6,
+                max_value=1e6,
+                allow_nan=False,
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_tally_matches_naive_mean(self, values):
+        tally = Tally()
+        for value in values:
+            tally.record(value)
+        naive = sum(values) / len(values)
+        assert abs(tally.mean - naive) < 1e-6 * max(
+            1.0, abs(naive)
+        ) + 1e-6
+        assert tally.minimum == min(values)
+        assert tally.maximum == max(values)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.001, max_value=10.0),
+                st.floats(min_value=0.0, max_value=5.0),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_time_weighted_mean_bounded_by_extremes(self, steps):
+        signal = TimeWeighted(0.0, steps[0][1])
+        now = 0.0
+        values = [steps[0][1]]
+        for delta, value in steps:
+            now += delta
+            signal.update(now, value)
+            values.append(value)
+        mean = signal.mean(now + 1.0)
+        assert min(values) - 1e-9 <= mean <= max(values) + 1e-9

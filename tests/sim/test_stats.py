@@ -1,0 +1,153 @@
+"""Unit tests for the statistics collectors."""
+
+import math
+
+import pytest
+
+from repro.sim.stats import BatchMeans, Counter, Tally, TimeWeighted
+
+
+class TestTally:
+    def test_empty_tally(self):
+        tally = Tally()
+        assert tally.count == 0
+        assert tally.mean == 0.0
+        assert tally.variance == 0.0
+
+    def test_mean_and_total(self):
+        tally = Tally()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            tally.record(value)
+        assert tally.mean == pytest.approx(2.5)
+        assert tally.total == pytest.approx(10.0)
+        assert tally.count == 4
+
+    def test_variance_matches_textbook(self):
+        tally = Tally()
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        for value in values:
+            tally.record(value)
+        mean = sum(values) / len(values)
+        expected = sum((v - mean) ** 2 for v in values) / (
+            len(values) - 1
+        )
+        assert tally.variance == pytest.approx(expected)
+        assert tally.stddev == pytest.approx(math.sqrt(expected))
+
+    def test_extremes(self):
+        tally = Tally()
+        for value in (3.0, -1.0, 7.0):
+            tally.record(value)
+        assert tally.minimum == -1.0
+        assert tally.maximum == 7.0
+
+    def test_reset_clears_everything(self):
+        tally = Tally()
+        tally.record(5.0)
+        tally.reset()
+        assert tally.count == 0
+        assert tally.mean == 0.0
+        assert tally.total == 0.0
+
+    def test_single_observation_variance_zero(self):
+        tally = Tally()
+        tally.record(3.0)
+        assert tally.variance == 0.0
+
+
+class TestTimeWeighted:
+    def test_constant_signal(self):
+        signal = TimeWeighted(0.0, 1.0)
+        assert signal.mean(10.0) == pytest.approx(1.0)
+
+    def test_step_signal(self):
+        signal = TimeWeighted(0.0, 0.0)
+        signal.update(4.0, 1.0)  # off for 4s, then on
+        assert signal.mean(10.0) == pytest.approx(0.6)
+
+    def test_multiple_steps(self):
+        signal = TimeWeighted(0.0, 2.0)
+        signal.update(1.0, 0.0)
+        signal.update(3.0, 4.0)
+        # integral = 2*1 + 0*2 + 4*2 = 10 over 5s
+        assert signal.mean(5.0) == pytest.approx(2.0)
+
+    def test_reset_restarts_window(self):
+        signal = TimeWeighted(0.0, 1.0)
+        signal.reset(10.0)
+        signal.update(12.0, 0.0)
+        # Window [10, 20]: on for 2s of 10s.
+        assert signal.mean(20.0) == pytest.approx(0.2)
+
+    def test_mean_at_window_start_returns_value(self):
+        signal = TimeWeighted(5.0, 3.0)
+        assert signal.mean(5.0) == 3.0
+
+    def test_advance_keeps_value(self):
+        signal = TimeWeighted(0.0, 1.0)
+        signal.advance(5.0)
+        assert signal.value == 1.0
+        assert signal.mean(5.0) == pytest.approx(1.0)
+
+
+class TestCounter:
+    def test_increment_default(self):
+        counter = Counter()
+        counter.increment()
+        counter.increment()
+        assert counter.count == 2
+
+    def test_increment_amount(self):
+        counter = Counter()
+        counter.increment(5)
+        assert counter.count == 5
+
+    def test_reset(self):
+        counter = Counter()
+        counter.increment(3)
+        counter.reset()
+        assert counter.count == 0
+
+
+class TestBatchMeans:
+    def test_no_ci_with_few_batches(self):
+        batches = BatchMeans(batch_size=10)
+        for _ in range(15):
+            batches.record(1.0)
+        assert batches.num_batches == 1
+        assert batches.half_width() is None
+
+    def test_constant_data_zero_half_width(self):
+        batches = BatchMeans(batch_size=5)
+        for _ in range(25):
+            batches.record(2.0)
+        assert batches.num_batches == 5
+        assert batches.mean == pytest.approx(2.0)
+        assert batches.half_width() == pytest.approx(0.0)
+
+    def test_half_width_formula(self):
+        batches = BatchMeans(batch_size=1)
+        for value in (1.0, 2.0, 3.0):
+            batches.record(value)
+        # batch means are the values themselves; t(0.975, dof=2)=4.303
+        expected = 4.303 * 1.0 / math.sqrt(3)
+        assert batches.half_width() == pytest.approx(expected, rel=1e-3)
+
+    def test_reset(self):
+        batches = BatchMeans(batch_size=2)
+        for _ in range(10):
+            batches.record(1.0)
+        batches.reset()
+        assert batches.num_batches == 0
+        assert batches.half_width() is None
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            BatchMeans(batch_size=0)
+
+    def test_partial_batch_excluded_from_mean(self):
+        batches = BatchMeans(batch_size=2)
+        batches.record(1.0)
+        batches.record(1.0)  # completes a batch of mean 1
+        batches.record(100.0)  # pending, not yet a batch
+        assert batches.mean == pytest.approx(1.0)
