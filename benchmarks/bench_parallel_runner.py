@@ -1,0 +1,127 @@
+"""Wall-clock benchmark of the parallel sweep executor.
+
+Times one machine-size figure sweep (the Figure 4 grid: five
+algorithms x the fidelity's think-time grid at 1 and 8 nodes) twice —
+serial (``jobs=1``) and parallel (``jobs=N``, default all cores) —
+with cold memos and no disk cache, asserts the results are
+bit-identical, and appends a JSON record to
+``BENCH_parallel_runner.json`` at the repo root (override the path
+with ``$REPRO_BENCH_OUT``) so the speedup is tracked over time.
+
+Run standalone for a quick reading::
+
+    REPRO_FIDELITY=smoke python benchmarks/bench_parallel_runner.py
+
+or through pytest with the rest of the suite (same JSON record)::
+
+    pytest benchmarks/bench_parallel_runner.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+# Standalone-script convenience: make src/ importable without
+# PYTHONPATH (pytest runs get it from the usual test environment).
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(
+        0, str(Path(__file__).resolve().parents[1] / "src")
+    )
+
+from repro.experiments.executor import SweepExecutor, resolve_jobs
+from repro.experiments.fidelity import Fidelity
+from repro.experiments.scaling import ALGORITHMS, scaling_config
+
+DEFAULT_OUT = Path(__file__).resolve().parents[1] / (
+    "BENCH_parallel_runner.json"
+)
+
+
+def _sweep_configs(fidelity: Fidelity):
+    return [
+        scaling_config(fidelity, algorithm, think_time, num_nodes)
+        for num_nodes in (1, 8)
+        for algorithm in ALGORITHMS
+        for think_time in fidelity.think_times
+    ]
+
+
+def _timed_run(configs, jobs: int):
+    executor = SweepExecutor(jobs=jobs)
+    started = time.perf_counter()
+    results = executor.run_many(configs)
+    elapsed = time.perf_counter() - started
+    assert executor.stats.simulated == len(configs)
+    return results, elapsed
+
+
+def run_benchmark(fidelity: Fidelity, jobs: int) -> dict:
+    """Time the sweep serial vs parallel; return the JSON record."""
+    configs = _sweep_configs(fidelity)
+    serial_results, serial_seconds = _timed_run(configs, jobs=1)
+    parallel_results, parallel_seconds = _timed_run(configs, jobs=jobs)
+    assert [r.as_dict() for r in parallel_results] == [
+        r.as_dict() for r in serial_results
+    ], "parallel sweep diverged from serial sweep"
+    return {
+        "benchmark": "parallel_runner",
+        "fidelity": fidelity.name,
+        "grid_points": len(configs),
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(
+            serial_seconds / parallel_seconds, 3
+        ) if parallel_seconds > 0 else None,
+        "timestamp": time.strftime(
+            "%Y-%m-%dT%H:%M:%S%z", time.localtime()
+        ),
+    }
+
+
+def _out_path() -> Path:
+    override = os.environ.get("REPRO_BENCH_OUT")
+    return Path(override) if override else DEFAULT_OUT
+
+
+def append_record(record: dict, path: Path) -> None:
+    """Append to the JSON trajectory (a list of records)."""
+    records = []
+    if path.is_file():
+        try:
+            records = json.loads(path.read_text(encoding="utf-8"))
+            if not isinstance(records, list):
+                records = [records]
+        except (OSError, ValueError):
+            records = []
+    records.append(record)
+    path.write_text(
+        json.dumps(records, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def test_parallel_runner_speedup():
+    """Parallel sweep matches serial bit-for-bit; record the timing.
+
+    The >= 2x speedup acceptance applies on multi-core machines; on a
+    single-core runner only the equality half is enforced, and the
+    measured ratio is still recorded for the trajectory.
+    """
+    fidelity = Fidelity.from_env(default="smoke")
+    jobs = resolve_jobs()
+    record = run_benchmark(fidelity, jobs=max(jobs, 2))
+    append_record(record, _out_path())
+    print(json.dumps(record, indent=2))
+    if (os.cpu_count() or 1) >= 4:
+        assert record["speedup"] >= 2.0, record
+
+
+if __name__ == "__main__":  # pragma: no cover
+    test_parallel_runner_speedup()

@@ -4,7 +4,11 @@ Every benchmark regenerates one of the paper's figures and prints the
 table that corresponds to it, so ``pytest benchmarks/ --benchmark-only``
 doubles as the full reproduction run.  Underlying simulations are
 memoized per process (the figures that share a sweep pay for it once —
-the first figure of each group carries the cost in its timing).
+the first figure of each group carries the cost in its timing), and
+missing sweep points fan out over a process pool sized by
+``$REPRO_JOBS`` (default: all cores; set ``REPRO_JOBS=1`` to time the
+serial path).  The persistent disk cache stays detached here so every
+benchmark session measures real simulation time.
 
 ``REPRO_FIDELITY`` selects the run length: ``bench`` (default here),
 ``smoke``, ``quick``, or ``full`` (the EXPERIMENTS.md setting).

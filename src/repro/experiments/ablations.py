@@ -36,7 +36,7 @@ from repro.core.config import (
     paper_default_config,
 )
 from repro.experiments.fidelity import Fidelity
-from repro.experiments.runner import run_config, sweep
+from repro.experiments.runner import run_many, sweep
 from repro.experiments.scaling import ALGORITHMS
 
 __all__ = [
@@ -209,19 +209,26 @@ def write_probability_ablation(
             y_label="aborts per commit",
             x_values=list(fidelity.think_times),
         )
-        for algorithm in ALGORITHMS:
-            if algorithm == "no_dc":
-                continue
-            curve = []
-            for think_time in fidelity.think_times:
-                result = run_config(
-                    _write_prob_config(
-                        fidelity, algorithm, think_time,
-                        write_probability,
-                    )
-                )
-                curve.append(result.abort_ratio)
-            series.add_curve(algorithm, curve)
+        algorithms = [
+            algorithm for algorithm in ALGORITHMS
+            if algorithm != "no_dc"
+        ]
+        configs = [
+            _write_prob_config(
+                fidelity, algorithm, think_time, write_probability
+            )
+            for algorithm in algorithms
+            for think_time in fidelity.think_times
+        ]
+        results = iter(run_many(configs))
+        for algorithm in algorithms:
+            series.add_curve(
+                algorithm,
+                [
+                    next(results).abort_ratio
+                    for _tt in fidelity.think_times
+                ],
+            )
         figures.append(series)
     return figures
 
@@ -256,20 +263,26 @@ def sequential_vs_parallel(fidelity: Fidelity) -> List[FigureSeries]:
         y_label="mean response time (s)",
         x_values=list(fidelity.think_times),
     )
-    for algorithm in ("2pl", "no_dc"):
+    variants = [
+        (algorithm, pattern)
+        for algorithm in ("2pl", "no_dc")
         for pattern in (
             ExecutionPattern.SEQUENTIAL,
             ExecutionPattern.PARALLEL,
-        ):
-            curve = []
-            for think_time in fidelity.think_times:
-                result = run_config(
-                    _pattern_config(
-                        fidelity, algorithm, think_time, pattern
-                    )
-                )
-                curve.append(result.mean_response_time)
-            series.add_curve(
-                f"{algorithm}-{pattern.value[:3]}", curve
-            )
+        )
+    ]
+    configs = [
+        _pattern_config(fidelity, algorithm, think_time, pattern)
+        for algorithm, pattern in variants
+        for think_time in fidelity.think_times
+    ]
+    results = iter(run_many(configs))
+    for algorithm, pattern in variants:
+        series.add_curve(
+            f"{algorithm}-{pattern.value[:3]}",
+            [
+                next(results).mean_response_time
+                for _tt in fidelity.think_times
+            ],
+        )
     return [series]

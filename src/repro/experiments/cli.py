@@ -5,11 +5,21 @@ Examples::
     python -m repro.experiments list
     python -m repro.experiments run fig2 --fidelity smoke
     python -m repro.experiments run all --fidelity full --out results/
+    python -m repro.experiments run fig9 --jobs 4
+    python -m repro.experiments cache stats
+    python -m repro.experiments cache clear
+
+``run`` fans independent sweep points out over ``--jobs`` worker
+processes (default ``$REPRO_JOBS``, else all cores) and persists
+finished simulations under ``results/.cache/`` (``$REPRO_CACHE_DIR``
+overrides the location; ``--no-cache`` or ``REPRO_CACHE=off`` disables
+persistence), so a re-run only simulates missing points.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -17,11 +27,22 @@ from typing import List, Optional
 
 from repro.analysis.ascii_chart import render_chart
 from repro.analysis.series import format_table
+from repro.experiments import runner
 from repro.experiments.export import write_figures
 from repro.experiments.fidelity import Fidelity
 from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.result_cache import ResultCache, default_cache_dir
 
 __all__ = ["main"]
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -68,6 +89,28 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="with --out: also write a JSON file per experiment",
+    )
+    run_parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        help=(
+            "worker processes for sweep points "
+            "(default: $REPRO_JOBS or all cores; 1 = serial)"
+        ),
+    )
+    run_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the persistent result cache",
+    )
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear the persistent result cache"
+    )
+    cache_parser.add_argument(
+        "verb",
+        choices=("stats", "clear"),
+        help="'stats' reports entries/bytes; 'clear' deletes entries",
     )
     simulate_parser = subparsers.add_parser(
         "simulate",
@@ -175,6 +218,28 @@ def _run_single(arguments) -> int:
     return 0
 
 
+def _cache_enabled(arguments) -> bool:
+    if getattr(arguments, "no_cache", False):
+        return False
+    return os.environ.get("REPRO_CACHE", "on").lower() not in (
+        "off", "0", "no", "false",
+    )
+
+
+def _run_cache_command(verb: str) -> int:
+    """The ``cache`` subcommand: inspect or clear the disk cache."""
+    cache = ResultCache(default_cache_dir())
+    if verb == "clear":
+        removed = cache.clear()
+        print(f"cache clear: removed {removed} entries "
+              f"from {cache.directory}")
+        return 0
+    print(f"cache dir      {cache.directory}")
+    print(f"entries        {cache.entry_count()}")
+    print(f"size           {cache.size_bytes()} bytes")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     arguments = _build_parser().parse_args(argv)
@@ -182,8 +247,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         for experiment in EXPERIMENTS.values():
             print(f"{experiment.id:20s} {experiment.description}")
         return 0
+    if arguments.command == "cache":
+        return _run_cache_command(arguments.verb)
     if arguments.command == "simulate":
         return _run_single(arguments)
+    try:
+        runner.configure(
+            jobs=arguments.jobs,
+            cache_dir=(
+                default_cache_dir() if _cache_enabled(arguments)
+                else None
+            ),
+        )
+    except ValueError as error:
+        print(f"repro-experiments run: error: {error}", file=sys.stderr)
+        return 2
     fidelity = _resolve_fidelity(arguments.fidelity)
     ids = list(arguments.ids)
     if ids == ["all"]:
@@ -220,6 +298,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 csv_output=arguments.csv,
                 json_output=arguments.json,
             )
+    stats = runner.cache_stats()
+    summary = (
+        f"cache: {stats['simulated']} simulated, "
+        f"{stats['disk_hits']} disk hits, "
+        f"{stats['memo_hits']} memo hits"
+    )
+    if "disk_entries" in stats:
+        summary += f" ({stats['disk_entries']} entries on disk)"
+    print(summary)
     return exit_code
 
 

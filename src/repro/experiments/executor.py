@@ -1,0 +1,228 @@
+"""Parallel execution of independent simulation configurations.
+
+Every point in a figure sweep is an independent simulation of one
+frozen :class:`~repro.core.config.SimulationConfig`, which makes sweeps
+embarrassingly parallel: the executor fans missing points out over a
+``concurrent.futures`` process pool and assembles results in input
+order, so a parallel sweep is bit-identical to a serial one (each
+simulation is a pure function of its config, seed included).
+
+Result reuse is layered:
+
+1. an in-memory memo (one entry per distinct config, per process) —
+   the figures that share a sweep pay for it once;
+2. an optional persistent :class:`~repro.experiments.result_cache.
+   ResultCache` so interrupted or repeated sessions only simulate
+   missing points.
+
+``jobs=1`` preserves the fully serial in-process path (no pool, no
+pickling); ``jobs=None`` resolves ``$REPRO_JOBS`` and falls back to
+``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import SimulationConfig
+from repro.core.metrics import SimulationResult
+from repro.core.simulation import Simulation
+from repro.experiments.result_cache import ResultCache
+
+__all__ = [
+    "ExecutorStats",
+    "SweepExecutionError",
+    "SweepExecutor",
+    "resolve_jobs",
+]
+
+
+class SweepExecutionError(RuntimeError):
+    """A grid point failed; carries the failing config for diagnosis.
+
+    Worker failures must surface loudly — a sweep that silently drops
+    grid points would produce figures with holes that look like data.
+    """
+
+    def __init__(self, config: SimulationConfig, cause: BaseException):
+        super().__init__(
+            f"simulation failed for {config.label()}: {cause!r}"
+        )
+        self.config = config
+        self.cause = cause
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a worker count: explicit > ``$REPRO_JOBS`` > cpu_count."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_JOBS must be a positive integer, got {env!r}"
+                ) from None
+        else:
+            jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _simulate(config: SimulationConfig) -> SimulationResult:
+    """Run one simulation; module-level so pool workers can pickle it."""
+    return Simulation(config).run()
+
+
+@dataclass
+class ExecutorStats:
+    """Where each requested grid point came from, over one lifetime."""
+
+    simulated: int = 0
+    memo_hits: int = 0
+    disk_hits: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "simulated": self.simulated,
+            "memo_hits": self.memo_hits,
+            "disk_hits": self.disk_hits,
+        }
+
+    def reset(self) -> None:
+        self.simulated = 0
+        self.memo_hits = 0
+        self.disk_hits = 0
+
+
+class SweepExecutor:
+    """Runs batches of configs with memoization and optional parallelism."""
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+    ):
+        #: ``None`` defers to :func:`resolve_jobs` at each batch.
+        self.jobs = jobs
+        self.cache = cache
+        self.stats = ExecutorStats()
+        self._memo: Dict[SimulationConfig, SimulationResult] = {}
+
+    # ------------------------------------------------------------------
+    # Lookup layers
+    # ------------------------------------------------------------------
+
+    def _lookup(
+        self, config: SimulationConfig
+    ) -> Optional[SimulationResult]:
+        result = self._memo.get(config)
+        if result is not None:
+            self.stats.memo_hits += 1
+            return result
+        if self.cache is not None:
+            result = self.cache.get(config)
+            if result is not None:
+                self.stats.disk_hits += 1
+                self._memo[config] = result
+                return result
+        return None
+
+    def _store(
+        self, config: SimulationConfig, result: SimulationResult
+    ) -> None:
+        self._memo[config] = result
+        self.stats.simulated += 1
+        if self.cache is not None:
+            self.cache.put(config, result)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run_one(self, config: SimulationConfig) -> SimulationResult:
+        """Run (or fetch the cached result of) one configuration.
+
+        Always in-process: a single point gains nothing from a pool.
+        """
+        result = self._lookup(config)
+        if result is None:
+            result = _simulate(config)
+            self._store(config, result)
+        return result
+
+    def run_many(
+        self,
+        configs: Sequence[SimulationConfig],
+        jobs: Optional[int] = None,
+    ) -> List[SimulationResult]:
+        """Run a batch of configs; results are in input order.
+
+        Cached points are served from the memo/disk layers; the missing
+        remainder is deduplicated and fanned out over a process pool
+        when more than one distinct point is missing and ``jobs > 1``.
+        Worker failures raise :class:`SweepExecutionError` immediately
+        rather than yielding a partial grid.
+        """
+        jobs = resolve_jobs(self.jobs if jobs is None else jobs)
+        missing: List[SimulationConfig] = []
+        for config in configs:
+            if self._lookup(config) is None and config not in missing:
+                # Validate up front so bad configs fail in the caller,
+                # with a normal traceback, not inside a worker.
+                config.validate()
+                missing.append(config)
+        if missing:
+            if jobs > 1 and len(missing) > 1:
+                self._run_pool(missing, jobs)
+            else:
+                for config in missing:
+                    try:
+                        result = _simulate(config)
+                    except Exception as cause:
+                        raise SweepExecutionError(
+                            config, cause
+                        ) from cause
+                    self._store(config, result)
+        # Every config is now memoized; assemble in input order.  The
+        # memo lookups below are repeats of _lookup hits already counted
+        # above, so read the memo directly to keep stats meaningful.
+        return [self._memo[config] for config in configs]
+
+    def _run_pool(
+        self, missing: List[SimulationConfig], jobs: int
+    ) -> None:
+        workers = min(jobs, len(missing))
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers
+        ) as pool:
+            futures = [
+                pool.submit(_simulate, config) for config in missing
+            ]
+            for config, future in zip(missing, futures):
+                try:
+                    result = future.result()
+                except Exception as cause:
+                    raise SweepExecutionError(config, cause) from cause
+                self._store(config, result)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def clear_memo(self) -> None:
+        """Drop in-memory results (tests use this for isolation)."""
+        self._memo.clear()
+
+    def cache_stats(self) -> Dict[str, object]:
+        """Combined executor + disk-cache counters for reporting."""
+        combined: Dict[str, object] = dict(self.stats.as_dict())
+        if self.cache is not None:
+            combined["disk"] = self.cache.stats.as_dict()
+            combined["disk_dir"] = str(self.cache.directory)
+            combined["disk_entries"] = self.cache.entry_count()
+        return combined

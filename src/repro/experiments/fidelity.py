@@ -3,7 +3,10 @@
 Full-length sweeps of all 17 figures take tens of minutes of pure-Python
 simulation; the benchmark suite defaults to a reduced but
 trend-preserving fidelity.  ``REPRO_FIDELITY=full`` (or ``quick``,
-``smoke``) switches the preset globally for the benchmarks.
+``smoke``) switches the preset globally for the benchmarks.  Wall-clock
+cost additionally scales down with the sweep executor's worker count
+(``--jobs`` / ``$REPRO_JOBS``, see :mod:`repro.experiments.runner`) and
+with how much of the grid the persistent result cache already holds.
 
 * ``smoke`` — seconds per figure; for CI wiring tests only.
 * ``quick`` — the default: every figure in roughly a minute or two,

@@ -29,7 +29,7 @@ from repro.core.config import (
 )
 from repro.core.metrics import SimulationResult
 from repro.experiments.fidelity import Fidelity
-from repro.experiments.runner import run_config
+from repro.experiments.runner import run_many
 from repro.experiments.scaling import ALGORITHMS
 
 __all__ = [
@@ -84,15 +84,21 @@ def overhead_speedup_series(
     title: str,
 ) -> FigureSeries:
     """Response-time speedup vs degree of partitioning."""
-    results: Dict[Tuple[str, int], SimulationResult] = {}
-    for algorithm in ALGORITHMS:
-        for degree in DEGREES:
-            results[(algorithm, degree)] = run_config(
-                overhead_config(
-                    fidelity, algorithm, think_time, degree,
-                    inst_per_startup, inst_per_msg,
-                )
-            )
+    grid = [
+        (algorithm, degree)
+        for algorithm in ALGORITHMS
+        for degree in DEGREES
+    ]
+    configs = [
+        overhead_config(
+            fidelity, algorithm, think_time, degree,
+            inst_per_startup, inst_per_msg,
+        )
+        for algorithm, degree in grid
+    ]
+    results: Dict[Tuple[str, int], SimulationResult] = dict(
+        zip(grid, run_many(configs))
+    )
     series = FigureSeries(
         title=title,
         x_label="degree",

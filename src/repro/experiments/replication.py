@@ -19,7 +19,7 @@ from typing import List
 from repro.analysis.series import FigureSeries
 from repro.core.config import paper_default_config
 from repro.experiments.fidelity import Fidelity
-from repro.experiments.runner import run_config
+from repro.experiments.runner import run_many
 
 __all__ = ["replication_experiment"]
 
@@ -43,18 +43,24 @@ def replication_experiment(fidelity: Fidelity) -> List[FigureSeries]:
             y_label="transactions/second",
             x_values=[float(copies) for copies in COPIES],
         )
-        for algorithm in ALGORITHMS:
-            curve = []
-            for copies in COPIES:
-                config = paper_default_config(
+        configs = [
+            fidelity.apply(
+                paper_default_config(
                     algorithm,
                     think_time=THINK_TIME,
                     seed=fidelity.seed,
                 ).with_database(copies=copies).with_resources(
                     inst_per_msg=inst_per_msg
                 )
-                result = run_config(fidelity.apply(config))
-                curve.append(result.throughput)
-            series.add_curve(algorithm, curve)
+            )
+            for algorithm in ALGORITHMS
+            for copies in COPIES
+        ]
+        results = iter(run_many(configs))
+        for algorithm in ALGORITHMS:
+            series.add_curve(
+                algorithm,
+                [next(results).throughput for _copies in COPIES],
+            )
         figures.append(series)
     return figures

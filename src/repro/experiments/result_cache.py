@@ -1,0 +1,211 @@
+"""Persistent on-disk cache of simulation results.
+
+Every point of a figure sweep is a pure function of its frozen
+:class:`~repro.core.config.SimulationConfig` (seed included), so a
+finished simulation never needs to run again: the result is stored as
+one JSON file under the cache directory, keyed by a stable SHA-256
+content hash of the configuration tree plus a schema version stamp.
+
+Key properties:
+
+* **Stable keys across processes.**  The digest is computed from a
+  canonical JSON rendering of the config dataclasses (sorted dict keys,
+  enums by value), not from Python ``hash()``, so it is identical
+  across interpreter invocations and machines.
+* **Explicit invalidation.**  Bumping :data:`SCHEMA_VERSION` (done
+  whenever the simulator's behaviour changes) changes every digest, so
+  stale results are never served.  ``python -m repro.experiments cache
+  clear`` removes entries by hand.
+* **Corruption tolerance.**  Unreadable or truncated entries are
+  treated as misses and deleted; the point is simply recomputed.
+* **Atomic writes.**  Entries are written to a temp file and
+  ``os.replace``-d into place, so parallel writers and interrupted
+  runs never leave half-written entries behind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from enum import Enum
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.core.config import SimulationConfig
+from repro.core.metrics import SimulationResult
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CacheStats",
+    "ResultCache",
+    "config_digest",
+    "default_cache_dir",
+]
+
+#: Bump whenever simulation behaviour changes in a way that makes old
+#: cached results wrong (kernel scheduling changes, model fixes, new
+#: result fields).  Any bump invalidates the entire cache.
+SCHEMA_VERSION = 1
+
+#: Default location, relative to the current working directory, used by
+#: the CLI and benchmarks; overridable via ``$REPRO_CACHE_DIR``.
+DEFAULT_CACHE_DIR = Path("results") / ".cache"
+
+
+def default_cache_dir() -> Path:
+    """The cache directory named by ``$REPRO_CACHE_DIR`` or the default."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return DEFAULT_CACHE_DIR
+
+
+def _jsonable(value: Any) -> Any:
+    """Canonical JSON-ready rendering of a config value tree."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, Enum):
+        return value.value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(value[key]) for key in sorted(value)}
+    return value
+
+
+def config_digest(config: SimulationConfig) -> str:
+    """Stable SHA-256 content hash of ``config`` plus the schema stamp."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "type": type(config).__name__,
+        "config": _jsonable(config),
+    }
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Counters for one cache instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0  # corrupted/stale entries dropped
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class ResultCache:
+    """A directory of ``<digest>.json`` simulation-result entries."""
+
+    def __init__(self, directory: Path):
+        self.directory = Path(directory)
+        self.stats = CacheStats()
+
+    def _path(self, digest: str) -> Path:
+        return self.directory / f"{digest}.json"
+
+    def get(self, config: SimulationConfig) -> Optional[SimulationResult]:
+        """The cached result for ``config``, or ``None`` on a miss.
+
+        Corrupted, unreadable, or schema-stale entries count as misses
+        and are deleted so they are rewritten on the next store.
+        """
+        path = self._path(config_digest(config))
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        try:
+            entry = json.loads(raw)
+            if entry.get("schema") != SCHEMA_VERSION:
+                raise ValueError("schema mismatch")
+            result = _result_from_payload(entry["result"])
+        except (KeyError, TypeError, ValueError):
+            self._evict(path)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, config: SimulationConfig, result: SimulationResult) -> None:
+        """Store ``result`` for ``config`` (atomic; last writer wins)."""
+        digest = config_digest(config)
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "digest": digest,
+            "label": config.label(),
+            "result": dataclasses.asdict(result),
+        }
+        path = self._path(digest)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            temp = path.with_name(f".{digest}.{os.getpid()}.tmp")
+            temp.write_text(
+                json.dumps(entry, sort_keys=True), encoding="utf-8"
+            )
+            os.replace(temp, path)
+        except OSError:
+            # A read-only or full disk degrades to a cold cache, never
+            # to a failed sweep.
+            return
+        self.stats.stores += 1
+
+    def _evict(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        self.stats.evictions += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self._entry_paths():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def _entry_paths(self):
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("*.json"))
+
+    def entry_count(self) -> int:
+        """Number of entries currently on disk."""
+        return len(self._entry_paths())
+
+    def size_bytes(self) -> int:
+        """Total on-disk size of all entries."""
+        total = 0
+        for path in self._entry_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+
+def _result_from_payload(payload: Dict[str, Any]) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult`; raises on shape mismatch."""
+    if not isinstance(payload, dict):
+        raise TypeError(f"result payload is {type(payload).__name__}")
+    field_names = {
+        field.name for field in dataclasses.fields(SimulationResult)
+    }
+    if set(payload) - field_names:
+        raise ValueError("unknown result fields")
+    return SimulationResult(**payload)

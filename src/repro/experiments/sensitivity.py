@@ -28,7 +28,7 @@ from repro.core.config import (
     paper_default_config,
 )
 from repro.experiments.fidelity import Fidelity
-from repro.experiments.runner import run_config
+from repro.experiments.runner import run_many
 from repro.experiments.scaling import ALGORITHMS
 
 __all__ = [
@@ -56,14 +56,22 @@ def host_speed_sensitivity(fidelity: Fidelity) -> List[FigureSeries]:
         y_label="host CPU utilization",
         x_values=[float(mips) for mips in HOST_MIPS],
     )
-    for algorithm in ("2pl", "no_dc"):
-        tput_curve = []
-        util_curve = []
-        for mips in HOST_MIPS:
-            config = paper_default_config(
+    algorithms = ("2pl", "no_dc")
+    configs = [
+        fidelity.apply(
+            paper_default_config(
                 algorithm, think_time=0.0, seed=fidelity.seed
             ).with_resources(host_cpu_mips=mips)
-            result = run_config(fidelity.apply(config))
+        )
+        for algorithm in algorithms
+        for mips in HOST_MIPS
+    ]
+    results = iter(run_many(configs))
+    for algorithm in algorithms:
+        tput_curve = []
+        util_curve = []
+        for _mips in HOST_MIPS:
+            result = next(results)
             tput_curve.append(result.throughput)
             util_curve.append(result.host_cpu_utilization)
         throughput.add_curve(algorithm, tput_curve)
@@ -88,13 +96,17 @@ def detection_interval_sensitivity(
         y_label="aborts per commit",
         x_values=list(DETECTION_INTERVALS),
     )
+    configs = [
+        fidelity.apply(
+            paper_default_config(
+                "2pl", think_time=0.0, seed=fidelity.seed
+            ).with_(detection_interval=interval)
+        )
+        for interval in DETECTION_INTERVALS
+    ]
     rt_curve = []
     ar_curve = []
-    for interval in DETECTION_INTERVALS:
-        config = paper_default_config(
-            "2pl", think_time=0.0, seed=fidelity.seed
-        ).with_(detection_interval=interval)
-        result = run_config(fidelity.apply(config))
+    for result in run_many(configs):
         rt_curve.append(result.mean_response_time)
         ar_curve.append(result.abort_ratio)
     response.add_curve("2pl", rt_curve)
@@ -117,19 +129,24 @@ def terminal_sweep(fidelity: Fidelity) -> List[FigureSeries]:
         y_label="transactions/second",
         x_values=[float(count) for count in TERMINAL_COUNTS],
     )
-    for algorithm in ALGORITHMS:
-        curve = []
-        for count in TERMINAL_COUNTS:
-            config = paper_default_config(
-                algorithm, think_time=0.0, seed=fidelity.seed
-            )
-            config = replace(
-                config,
+    configs = [
+        fidelity.apply(
+            replace(
+                paper_default_config(
+                    algorithm, think_time=0.0, seed=fidelity.seed
+                ),
                 workload=WorkloadConfig(
                     num_terminals=count, think_time=0.0
                 ),
             )
-            result = run_config(fidelity.apply(config))
-            curve.append(result.throughput)
-        series.add_curve(algorithm, curve)
+        )
+        for algorithm in ALGORITHMS
+        for count in TERMINAL_COUNTS
+    ]
+    results = iter(run_many(configs))
+    for algorithm in ALGORITHMS:
+        series.add_curve(
+            algorithm,
+            [next(results).throughput for _count in TERMINAL_COUNTS],
+        )
     return [series]

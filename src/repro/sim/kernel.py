@@ -22,6 +22,7 @@ that no process is ever resumed twice.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from itertools import count
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -64,14 +65,23 @@ class ScheduledCallback:
     """Handle for a callback placed on the event heap.
 
     The heap is append-only; cancellation just flips a flag and the entry
-    is discarded when popped.
+    is discarded when popped.  Positional arguments are stored on the
+    handle and passed to the callback when it runs, so the hot scheduling
+    paths (event delivery, timeout firing, process notification) need no
+    per-event closure allocation.
     """
 
-    __slots__ = ("time", "callback", "cancelled")
+    __slots__ = ("time", "callback", "args", "cancelled")
 
-    def __init__(self, time: float, callback: Callable[[], None]):
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: tuple = (),
+    ):
         self.time = time
         self.callback = callback
+        self.args = args
         self.cancelled = False
 
     def cancel(self) -> None:
@@ -135,14 +145,14 @@ class Event(Waitable):
         return self
 
     def _deliver(self, process: "Process") -> None:
-        def run() -> None:
-            # The waiter may have been interrupted (and moved on) between
-            # the fire and this delivery; only resume if it still waits
-            # on this event.
-            if process._alive and process._waiting_on is self:
-                process._resume(self._value)
+        self.env.schedule(0.0, self._deliver_step, process)
 
-        self.env.schedule(0.0, run)
+    def _deliver_step(self, process: "Process") -> None:
+        # The waiter may have been interrupted (and moved on) between
+        # the fire and this delivery; only resume if it still waits
+        # on this event.
+        if process._alive and process._waiting_on is self:
+            process._resume(self._value)
 
     def _subscribe(self, process: "Process") -> None:
         if self._fired:
@@ -171,9 +181,7 @@ class Timeout(Waitable):
         self._handles: dict[int, ScheduledCallback] = {}
 
     def _subscribe(self, process: "Process") -> None:
-        handle = self.env.schedule(
-            self.delay, lambda: self._fire(process)
-        )
+        handle = self.env.schedule(self.delay, self._fire, process)
         self._handles[id(process)] = handle
 
     def _fire(self, process: "Process") -> None:
@@ -223,7 +231,10 @@ class Process(Waitable):
         self._waiting_on: Optional[Waitable] = None
         self._watchers: list[Process] = []
         self._resuming = False
-        env.schedule(0.0, lambda: self._step(self._generator.send, None))
+        env.schedule(0.0, self._start)
+
+    def _start(self) -> None:
+        self._step(self._generator.send, None)
 
     @property
     def alive(self) -> bool:
@@ -251,7 +262,7 @@ class Process(Waitable):
             # Not yet started (or mid-schedule): deliver the interrupt on
             # the next step at the current time.
             self.env.schedule(
-                0.0, lambda: self._deliver_pending_interrupt(cause)
+                0.0, self._deliver_pending_interrupt, cause
             )
 
     def _deliver_pending_interrupt(self, cause: Any) -> None:
@@ -311,18 +322,18 @@ class Process(Waitable):
             self.env._record_crash(self, exception)
 
     def _notify(self, watcher: "Process") -> None:
-        def run() -> None:
-            if not (watcher._alive and watcher._waiting_on is self):
-                return
-            if self._exception is not None:
-                watcher._waiting_on = None
-                watcher._step(
-                    watcher._generator.throw, self._exception
-                )
-            else:
-                watcher._resume(self._result)
+        self.env.schedule(0.0, self._notify_step, watcher)
 
-        self.env.schedule(0.0, run)
+    def _notify_step(self, watcher: "Process") -> None:
+        if not (watcher._alive and watcher._waiting_on is self):
+            return
+        if self._exception is not None:
+            watcher._waiting_on = None
+            watcher._step(
+                watcher._generator.throw, self._exception
+            )
+        else:
+            watcher._resume(self._result)
 
     def _subscribe(self, process: "Process") -> None:
         if self._alive:
@@ -341,12 +352,54 @@ class Process(Waitable):
         return f"<Process {self.name} {state}>"
 
 
+class _JoinWatcher:
+    """Lightweight per-child subscriber used by :class:`AllOf`/:class:`AnyOf`.
+
+    Earlier versions of the kernel spawned a collector :class:`Process`
+    (a full generator) per combinator child; a sweep-heavy simulation
+    allocates millions of those.  This shim implements just enough of
+    the process protocol — ``_alive``/``_waiting_on`` for the deferred
+    delivery checks, ``_resume`` for values, and the
+    ``_generator.throw``/``_step`` pair for the exception path of
+    :meth:`Process._notify_step` — to subscribe to a child directly.
+    """
+
+    __slots__ = ("owner", "index", "name", "_alive", "_waiting_on")
+
+    def __init__(self, owner: "Waitable", index: int, child: Waitable):
+        self.owner = owner
+        self.index = index
+        self.name = f"{type(owner).__name__.lower()}-watcher"
+        self._alive = True
+        self._waiting_on: Optional[Waitable] = child
+        child._subscribe(self)
+
+    @property
+    def _generator(self) -> "_JoinWatcher":
+        return self
+
+    def throw(self, exception: BaseException) -> None:
+        raise exception  # pragma: no cover - marker, never driven
+
+    def _resume(self, value: Any) -> None:
+        self._alive = False
+        self._waiting_on = None
+        self.owner._child_fired(self.index, value)
+
+    def _step(self, advance: Callable[[Any], Any], argument: Any) -> None:
+        # Only reached when a Process child died with an exception
+        # (Process._notify_step calls watcher._step(throw, exc)).
+        self._alive = False
+        self._waiting_on = None
+        self.owner._child_failed(self, argument)
+
+
 class AllOf(Waitable):
     """Waits until every child waitable has fired; resolves to a list.
 
-    Results are ordered as the children were given.  Only :class:`Event`
-    and :class:`Process` children are supported (the transaction manager
-    never needs to join on raw timeouts).
+    Results are ordered as the children were given.  Children are
+    watched inline via :class:`_JoinWatcher` — no collector process is
+    spawned per child.
     """
 
     __slots__ = ("env", "_children", "_pending", "_results", "_proxy")
@@ -359,18 +412,22 @@ class AllOf(Waitable):
         self._proxy = Event(env)
         if self._pending == 0:
             self._proxy.succeed([])
+            return
         for index, child in enumerate(self._children):
-            self._watch(index, child)
+            _JoinWatcher(self, index, child)
 
-    def _watch(self, index: int, child: Waitable) -> None:
-        def collector() -> ProcessGenerator:
-            value = yield child
-            self._results[index] = value
-            self._pending -= 1
-            if self._pending == 0 and not self._proxy.fired:
-                self._proxy.succeed(list(self._results))
+    def _child_fired(self, index: int, value: Any) -> None:
+        self._results[index] = value
+        self._pending -= 1
+        if self._pending == 0 and not self._proxy.fired:
+            self._proxy.succeed(list(self._results))
 
-        self.env.process(collector(), name="allof-collector")
+    def _child_failed(
+        self, watcher: _JoinWatcher, exception: BaseException
+    ) -> None:
+        # Matches the old collector-process behaviour: the failure is
+        # recorded as an unobserved crash and the join never fires.
+        self.env._record_crash(watcher, exception)
 
     def _subscribe(self, process: "Process") -> None:
         self._proxy._subscribe(process)
@@ -391,15 +448,16 @@ class AnyOf(Waitable):
         self.env = env
         self._proxy = Event(env)
         for index, child in enumerate(children):
-            self._watch(index, child)
+            _JoinWatcher(self, index, child)
 
-    def _watch(self, index: int, child: Waitable) -> None:
-        def collector() -> ProcessGenerator:
-            value = yield child
-            if not self._proxy.fired:
-                self._proxy.succeed((index, value))
+    def _child_fired(self, index: int, value: Any) -> None:
+        if not self._proxy.fired:
+            self._proxy.succeed((index, value))
 
-        self.env.process(collector(), name="anyof-collector")
+    def _child_failed(
+        self, watcher: _JoinWatcher, exception: BaseException
+    ) -> None:
+        self.env._record_crash(watcher, exception)
 
     def _subscribe(self, process: "Process") -> None:
         self._proxy._subscribe(process)
@@ -423,13 +481,13 @@ class Mailbox:
 
     def __init__(self, env: "Environment"):
         self.env = env
-        self._items: list[Any] = []
-        self._getters: list[Event] = []
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
 
     def put(self, item: Any) -> None:
         """Deposit an item, waking the oldest pending getter if any."""
         if self._getters:
-            self._getters.pop(0).succeed(item)
+            self._getters.popleft().succeed(item)
         else:
             self._items.append(item)
 
@@ -437,7 +495,7 @@ class Mailbox:
         """An event that fires with the next item."""
         event = Event(self.env)
         if self._items:
-            event.succeed(self._items.pop(0))
+            event.succeed(self._items.popleft())
         else:
             self._getters.append(event)
         return event
@@ -468,12 +526,12 @@ class Environment:
         return list(self._crashes)
 
     def schedule(
-        self, delay: float, callback: Callable[[], None]
+        self, delay: float, callback: Callable[..., None], *args: Any
     ) -> ScheduledCallback:
-        """Run ``callback`` after ``delay`` simulated seconds."""
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay!r}")
-        handle = ScheduledCallback(self._now + delay, callback)
+        handle = ScheduledCallback(self._now + delay, callback, args)
         heapq.heappush(
             self._heap, (handle.time, next(self._sequence), handle)
         )
@@ -518,7 +576,7 @@ class Environment:
             if handle.cancelled:
                 continue
             self._now = time
-            handle.callback()
+            handle.callback(*handle.args)
         if until is not None and until > self._now:
             self._now = until
 

@@ -1,0 +1,216 @@
+"""Correctness tests for the persistent on-disk result cache.
+
+The contract under test: identical configs hit across fresh executors
+and fresh processes, any config change misses, a schema-version bump
+invalidates everything, and corrupted entries degrade to a recompute
+rather than an error.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import paper_default_config
+from repro.experiments import result_cache
+from repro.experiments.executor import SweepExecutor
+from repro.experiments.result_cache import (
+    ResultCache,
+    config_digest,
+    default_cache_dir,
+)
+
+
+def tiny_config(algorithm="no_dc", think_time=30.0, seed=7):
+    return paper_default_config(
+        algorithm, think_time=think_time, seed=seed
+    ).with_(duration=3.0, warmup=1.0).with_workload(num_terminals=4)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestConfigDigest:
+    def test_identical_configs_same_digest(self):
+        assert config_digest(tiny_config()) == config_digest(
+            tiny_config()
+        )
+
+    @pytest.mark.parametrize(
+        "changed",
+        [
+            lambda c: c.with_(seed=8),
+            lambda c: c.with_(cc_algorithm="2pl"),
+            lambda c: c.with_(duration=4.0),
+            lambda c: c.with_workload(think_time=31.0),
+            lambda c: c.with_database(copies=2),
+            lambda c: c.with_resources(disks_per_node=3),
+        ],
+    )
+    def test_any_field_change_changes_digest(self, changed):
+        base = tiny_config()
+        assert config_digest(base) != config_digest(changed(base))
+
+    def test_digest_stable_across_processes(self):
+        """The digest must not depend on PYTHONHASHSEED or any other
+        per-process state — a fresh interpreter computes the same key."""
+        script = (
+            "import sys; sys.path.insert(0, 'src')\n"
+            "from repro.core.config import paper_default_config\n"
+            "from repro.experiments.result_cache import config_digest\n"
+            "config = paper_default_config('no_dc', think_time=30.0,"
+            " seed=7).with_(duration=3.0, warmup=1.0)"
+            ".with_workload(num_terminals=4)\n"
+            "print(config_digest(config))\n"
+        )
+        fresh = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=Path(__file__).resolve().parents[2],
+        )
+        assert fresh.stdout.strip() == config_digest(tiny_config())
+
+    def test_schema_bump_changes_digest(self, monkeypatch):
+        before = config_digest(tiny_config())
+        monkeypatch.setattr(
+            result_cache, "SCHEMA_VERSION",
+            result_cache.SCHEMA_VERSION + 1,
+        )
+        assert config_digest(tiny_config()) != before
+
+
+class TestResultCacheRoundTrip:
+    def test_miss_then_hit(self, cache):
+        config = tiny_config()
+        assert cache.get(config) is None
+        result = SweepExecutor(jobs=1, cache=cache).run_one(config)
+        assert cache.stats.stores == 1
+        roundtripped = cache.get(config)
+        assert roundtripped is not None
+        assert roundtripped == result
+
+    def test_hit_across_fresh_executors(self, cache):
+        """Simulates a new process: a second executor with an empty
+        memo (sharing only the disk directory) must not re-simulate."""
+        config = tiny_config()
+        first = SweepExecutor(jobs=1, cache=cache)
+        result = first.run_one(config)
+        assert first.stats.simulated == 1
+
+        second = SweepExecutor(
+            jobs=1, cache=ResultCache(cache.directory)
+        )
+        again = second.run_one(config)
+        assert second.stats.simulated == 0
+        assert second.stats.disk_hits == 1
+        assert again == result
+
+    def test_changed_config_misses(self, cache):
+        executor = SweepExecutor(jobs=1, cache=cache)
+        executor.run_one(tiny_config(seed=7))
+        assert cache.get(tiny_config(seed=8)) is None
+
+    def test_version_bump_invalidates_everything(
+        self, cache, monkeypatch
+    ):
+        executor = SweepExecutor(jobs=1, cache=cache)
+        executor.run_one(tiny_config())
+        assert cache.entry_count() == 1
+        monkeypatch.setattr(
+            result_cache, "SCHEMA_VERSION",
+            result_cache.SCHEMA_VERSION + 1,
+        )
+        assert cache.get(tiny_config()) is None
+
+    def test_corrupted_entry_recomputes_gracefully(self, cache):
+        config = tiny_config()
+        executor = SweepExecutor(jobs=1, cache=cache)
+        result = executor.run_one(config)
+        (entry,) = cache.directory.glob("*.json")
+        entry.write_text("{ not json", encoding="utf-8")
+
+        fresh = SweepExecutor(
+            jobs=1, cache=ResultCache(cache.directory)
+        )
+        recomputed = fresh.run_one(config)
+        assert fresh.stats.simulated == 1
+        assert recomputed == result
+        # The corrupt entry was evicted and rewritten.
+        assert fresh.cache.stats.evictions == 1
+        assert cache.get(config) == result
+
+    def test_schema_stamp_mismatch_in_entry_is_a_miss(self, cache):
+        config = tiny_config()
+        SweepExecutor(jobs=1, cache=cache).run_one(config)
+        (entry,) = cache.directory.glob("*.json")
+        payload = json.loads(entry.read_text(encoding="utf-8"))
+        payload["schema"] = -1
+        entry.write_text(json.dumps(payload), encoding="utf-8")
+        assert cache.get(config) is None
+
+    def test_unknown_result_field_is_a_miss(self, cache):
+        config = tiny_config()
+        SweepExecutor(jobs=1, cache=cache).run_one(config)
+        (entry,) = cache.directory.glob("*.json")
+        payload = json.loads(entry.read_text(encoding="utf-8"))
+        payload["result"]["bogus_field"] = 1
+        entry.write_text(json.dumps(payload), encoding="utf-8")
+        assert cache.get(config) is None
+
+    def test_clear_and_stats(self, cache):
+        executor = SweepExecutor(jobs=1, cache=cache)
+        executor.run_one(tiny_config(seed=1))
+        executor.run_one(tiny_config(seed=2))
+        assert cache.entry_count() == 2
+        assert cache.size_bytes() > 0
+        assert cache.clear() == 2
+        assert cache.entry_count() == 0
+
+
+class TestDefaultCacheDir:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        assert default_cache_dir() == tmp_path / "c"
+
+    def test_default_location(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert default_cache_dir() == Path("results") / ".cache"
+
+
+class TestWarmCacheSweep:
+    def test_second_sweep_performs_zero_simulations(self, tmp_path):
+        """The acceptance check: with a warm disk cache, a repeated
+        sweep (fresh executor, as in a new CLI invocation) performs
+        zero new simulations, observable via the stats counters."""
+        from repro.experiments.scaling import scaling_config
+        from repro.experiments.fidelity import Fidelity
+
+        fidelity = Fidelity(
+            name="tiny", duration=2.0, warmup=0.5,
+            target_commits=0, max_duration=2.0,
+            think_times=(0.0, 60.0),
+        )
+        configs = [
+            scaling_config(fidelity, algorithm, think_time, 1)
+            for algorithm in ("no_dc", "opt")
+            for think_time in fidelity.think_times
+        ]
+        cold = SweepExecutor(
+            jobs=1, cache=ResultCache(tmp_path / "cache")
+        )
+        first = cold.run_many(configs)
+        assert cold.stats.simulated == len(configs)
+
+        warm = SweepExecutor(
+            jobs=1, cache=ResultCache(tmp_path / "cache")
+        )
+        second = warm.run_many(configs)
+        assert warm.stats.simulated == 0
+        assert warm.stats.disk_hits == len(configs)
+        assert second == first

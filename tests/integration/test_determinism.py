@@ -18,6 +18,10 @@ from repro.core.config import (
     paper_default_config,
 )
 from repro.core.simulation import run_simulation
+from repro.experiments.executor import (
+    SweepExecutionError,
+    SweepExecutor,
+)
 
 ALGORITHMS = ("2pl", "ww", "bto", "opt", "no_dc", "wd", "ir")
 
@@ -70,6 +74,57 @@ class TestDeterminism:
             for algorithm in ("2pl", "bto", "opt", "no_dc")
         }
         assert len(set(counts.values())) == 1, counts
+
+
+class TestParallelDeterminism:
+    """Parallel sweeps must be bit-identical to serial sweeps, and
+    worker failures must surface as errors, never as dropped points."""
+
+    def _grid(self):
+        return [
+            tiny_config(algorithm, think_time=think_time)
+            for algorithm in ("2pl", "opt", "no_dc")
+            for think_time in (0.0, 1.0)
+        ]
+
+    def test_jobs2_equals_jobs1_exactly(self):
+        configs = self._grid()
+        serial = SweepExecutor(jobs=1).run_many(configs)
+        parallel = SweepExecutor(jobs=2).run_many(configs)
+        assert [r.as_dict() for r in parallel] == [
+            r.as_dict() for r in serial
+        ]
+        assert [
+            r.per_node_cpu_utilization for r in parallel
+        ] == [r.per_node_cpu_utilization for r in serial]
+
+    def test_sweep_jobs_equality_via_runner(self):
+        from repro.experiments.runner import sweep
+
+        def factory(algorithm, think_time):
+            return tiny_config(algorithm, think_time=think_time)
+
+        serial = sweep(("opt", "no_dc"), (0.0, 1.0), factory, jobs=1)
+        parallel = sweep(("opt", "no_dc"), (0.0, 1.0), factory, jobs=2)
+        assert list(serial) == list(parallel)
+        assert {
+            key: value.as_dict() for key, value in serial.items()
+        } == {
+            key: value.as_dict() for key, value in parallel.items()
+        }
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_worker_crash_surfaces_as_error(self, jobs):
+        """An unknown algorithm passes config validation but fails
+        inside the simulation; the failure must carry the config
+        rather than silently dropping the grid point."""
+        configs = [
+            tiny_config("no_dc"),
+            tiny_config("no_dc").with_(cc_algorithm="bogus"),
+        ]
+        with pytest.raises(SweepExecutionError) as excinfo:
+            SweepExecutor(jobs=jobs).run_many(configs)
+        assert excinfo.value.config.cc_algorithm == "bogus"
 
 
 @given(

@@ -11,7 +11,13 @@ from repro.core.config import paper_default_config
 from repro.experiments.cli import main
 from repro.experiments.fidelity import Fidelity
 from repro.experiments.registry import EXPERIMENTS, get_experiment
-from repro.experiments.runner import clear_cache, run_config, sweep
+from repro.experiments.runner import (
+    cache_stats,
+    clear_cache,
+    configure,
+    run_config,
+    sweep,
+)
 from repro.experiments import overheads, partitioning, scaling
 
 
@@ -29,16 +35,18 @@ def tiny_fidelity():
 @pytest.fixture(autouse=True)
 def fresh_cache():
     clear_cache()
+    configure(jobs=None, cache_dir=None)
     yield
     clear_cache()
+    configure(jobs=None, cache_dir=None)
 
 
 class TestRunnerCache:
     def test_identical_config_runs_once(self, monkeypatch):
         calls = []
-        from repro.experiments import runner as runner_module
+        from repro.experiments import executor as executor_module
 
-        original = runner_module.Simulation
+        original = executor_module.Simulation
 
         class CountingSimulation(original):
             def __init__(self, config, **kwargs):
@@ -46,7 +54,7 @@ class TestRunnerCache:
                 super().__init__(config, **kwargs)
 
         monkeypatch.setattr(
-            runner_module, "Simulation", CountingSimulation
+            executor_module, "Simulation", CountingSimulation
         )
         config = paper_default_config("no_dc", think_time=60.0).with_(
             duration=3.0, warmup=0.0
@@ -187,9 +195,9 @@ class TestFigureGenerators:
 
     def test_shared_sweep_is_cached_across_figures(self, monkeypatch):
         calls = []
-        from repro.experiments import runner as runner_module
+        from repro.experiments import executor as executor_module
 
-        original = runner_module.Simulation
+        original = executor_module.Simulation
 
         class CountingSimulation(original):
             def __init__(self, config, **kwargs):
@@ -197,11 +205,15 @@ class TestFigureGenerators:
                 super().__init__(config, **kwargs)
 
         monkeypatch.setattr(
-            runner_module, "Simulation", CountingSimulation
+            executor_module, "Simulation", CountingSimulation
         )
+        # Force the serial path so the counting patch observes every
+        # simulation in this process.
+        configure(jobs=1)
         fidelity = tiny_fidelity()
         scaling.figure2(fidelity)
         first_count = len(calls)
+        assert first_count > 0
         scaling.figure3(fidelity)  # same underlying sweeps
         assert len(calls) == first_count
 
