@@ -119,7 +119,7 @@ class LockManager:
         if entry is None:
             entry = _LockEntry()
             self._table[page] = entry
-        if any(
+        if entry.queue and any(
             queued.transaction is txn for queued in entry.queue
         ):
             raise RuntimeError(
@@ -131,7 +131,7 @@ class LockManager:
         if mode is LockMode.SHARED:
             if held is not None:
                 return True, None, []
-            if self._shared_grantable(entry):
+            if not entry.queue and self._shared_grantable(entry):
                 self._grant_holder(entry, txn, page, LockMode.SHARED)
                 return True, None, []
         else:
@@ -139,8 +139,8 @@ class LockManager:
                 return True, None, []
             if held is LockMode.SHARED:
                 is_upgrade = True
-                if len(entry.holders) == 1 and not self._upgrade_ahead(
-                    entry, txn
+                if len(entry.holders) == 1 and not (
+                    entry.queue and self._upgrade_ahead(entry, txn)
                 ):
                     entry.holders[txn] = LockMode.EXCLUSIVE
                     return True, None, []
@@ -242,8 +242,14 @@ class LockManager:
             if entry is not None and request in entry.queue:
                 entry.queue.remove(request)
                 touched.append(request.page)
+        # A page can appear twice (held + queued upgrade); the second
+        # grant pass would find a settled entry and grant nothing, so
+        # deduplicate while keeping first-occurrence order.
+        seen: Set[PageId] = set()
         for page in touched:
-            self._grant_pass(page)
+            if page not in seen:
+                seen.add(page)
+                self._grant_pass(page)
 
     def _grant_pass(self, page: PageId) -> None:
         """Grant now-compatible requests from the head of the queue."""
@@ -307,20 +313,31 @@ class LockManager:
         ahead-of-me edges are real).
         """
         edges: List[Tuple[Transaction, Transaction]] = []
+        exclusive = LockMode.EXCLUSIVE
+        append = edges.append
+        # This runs on every conflict under local detection (2PL), so
+        # entries with no waiters — the vast majority — are skipped
+        # outright and the conflict test is inlined.
         for entry in self._table.values():
-            for position, request in enumerate(entry.queue):
+            queue = entry.queue
+            if not queue:
+                continue
+            holders = entry.holders
+            for position, request in enumerate(queue):
                 waiter = request.transaction
-                for holder, mode in entry.holders.items():
-                    if holder is not waiter and _conflicts(
-                        request.mode, mode
+                is_exclusive = request.mode is exclusive
+                for holder, mode in holders.items():
+                    if holder is not waiter and (
+                        is_exclusive or mode is exclusive
                     ):
-                        edges.append((waiter, holder))
-                for ahead in entry.queue[:position]:
+                        append((waiter, holder))
+                for index in range(position):
+                    ahead = queue[index]
                     other = ahead.transaction
-                    if other is not waiter and _conflicts(
-                        request.mode, ahead.mode
+                    if other is not waiter and (
+                        is_exclusive or ahead.mode is exclusive
                     ):
-                        edges.append((waiter, other))
+                        append((waiter, other))
         return edges
 
     def holds_any(self, txn: Transaction) -> bool:

@@ -59,6 +59,12 @@ class TwoPhaseLockingNodeManager(LockingNodeManager):
         to be released, so cycles through them resolve themselves.
         """
         me = request.transaction
+        if not conflict_set:
+            # Blocked purely behind compatible waiters (e.g. a shared
+            # request behind a shared queue): no outgoing wait edge from
+            # the blocker, so no cycle can pass through it — skip the
+            # full waits-for scan.
+            return
         doomed: set = set()
         while me not in doomed:
             edges = [

@@ -11,13 +11,19 @@ immediately and the payload handler runs once both CPU charges have been
 served.  Messages between the same (source, destination) pair are
 delivered in posting order, because both CPUs serve their message class
 FIFO.
+
+Each in-flight message is tracked by a :class:`_Courier` — a tiny
+two-stage state machine that subscribes to the CPU completion events
+directly.  Earlier versions spawned a kernel :class:`Process` (a full
+generator) per message; with tens of thousands of messages per simulated
+second that allocation showed up at the top of every profile.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Dict
 
-from repro.sim.kernel import Environment
+from repro.sim.kernel import Environment, Waitable
 from repro.sim.resources import CPU
 from repro.sim.stats import Counter
 
@@ -25,6 +31,73 @@ __all__ = ["HOST_NODE", "NetworkManager"]
 
 #: Node id of the (single) host node; processing nodes are 0..N-1.
 HOST_NODE = -1
+
+
+class _Courier(Waitable):
+    """In-flight message: charge source CPU, charge destination, deliver.
+
+    Implements the slice of the process protocol that deferred event
+    delivery relies on (``_alive``/``_waiting_on``/``_resume``), in the
+    exact step order of the generator-based courier it replaced: the
+    source-CPU charge is submitted on the courier's first scheduler
+    step, not at post time, so the CPU's message FIFO sees the same
+    arrival order relative to other same-instant work.
+    """
+
+    __slots__ = (
+        "net",
+        "source",
+        "destination",
+        "handler",
+        "payload",
+        "_stage",
+        "_alive",
+        "_waiting_on",
+    )
+
+    def __init__(
+        self,
+        net: "NetworkManager",
+        source: int,
+        destination: int,
+        handler: Callable[[Any], None],
+        payload: Any,
+    ):
+        self.net = net
+        self.source = source
+        self.destination = destination
+        self.handler = handler
+        self.payload = payload
+        self._stage = 0
+        self._alive = True
+        self._waiting_on = None
+        net.env.schedule_now(self._start)
+
+    @property
+    def name(self) -> str:  # only built for crash reports
+        return f"msg-{self.source}->{self.destination}"
+
+    def _charge(self, node: int) -> None:
+        event = self.net._cpus[node].execute_message(
+            self.net.inst_per_msg
+        )
+        self._waiting_on = event
+        event._subscribe(self)
+
+    def _start(self) -> None:
+        self._charge(self.source)
+
+    def _resume(self, _value: Any) -> None:
+        self._waiting_on = None
+        if self._stage == 0:
+            self._stage = 1
+            self._charge(self.destination)
+            return
+        self._alive = False
+        try:
+            self.handler(self.payload)
+        except BaseException as exc:  # noqa: BLE001 - surfaced like a crash
+            self.net.env._record_crash(self, exc)
 
 
 class NetworkManager:
@@ -54,28 +127,14 @@ class NetworkManager:
         scheduler step (still asynchronous, so callers never reenter).
         """
         if source == destination:
-            self.env.schedule(0.0, lambda: handler(payload))
+            self.env.schedule_now(handler, payload)
             return
         self.messages_sent.increment()
         if self.inst_per_msg <= 0.0:
             # No CPU cost: deliver on the next step, preserving order.
-            self.env.schedule(0.0, lambda: handler(payload))
+            self.env.schedule_now(handler, payload)
             return
-        self.env.process(
-            self._courier(source, destination, handler, payload),
-            name=f"msg-{source}->{destination}",
-        )
-
-    def _courier(
-        self,
-        source: int,
-        destination: int,
-        handler: Callable[[Any], None],
-        payload: Any,
-    ):
-        yield self._cpus[source].execute_message(self.inst_per_msg)
-        yield self._cpus[destination].execute_message(self.inst_per_msg)
-        handler(payload)
+        _Courier(self, source, destination, handler, payload)
 
     def __repr__(self) -> str:
         return (

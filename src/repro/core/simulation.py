@@ -192,6 +192,9 @@ class Simulation:
             throughput=metrics.throughput(now),
             mean_response_time=metrics.response_times.mean,
             response_time_ci=metrics.response_batches.half_width(),
+            response_time_p50=metrics.response_histogram.percentile(0.50),
+            response_time_p90=metrics.response_histogram.percentile(0.90),
+            response_time_p99=metrics.response_histogram.percentile(0.99),
             abort_ratio=metrics.abort_ratio,
             mean_blocking_time=metrics.blocking_times.mean,
             blocking_count=metrics.blocking_times.count,

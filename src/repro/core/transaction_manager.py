@@ -86,11 +86,18 @@ class TransactionManager:
         self.auditor = auditor
         #: Optional lifecycle tracer (see repro.core.tracing).
         self.tracer = tracer
+        #: Hoisted tracer flag checked at the hot call sites so that
+        #: untraced runs (the normal case) skip the _trace call entirely.
+        self._tracing = tracer is not None
         #: Running average of observed response times; drives the
         #: restart delay.  Deliberately never reset at warmup — it is a
         #: control variable of the model, not a reported metric.
         self._observed_response = Tally()
         self.active_transactions = 0
+        # Per-access constants hoisted off the config object chains.
+        self._inst_per_startup = config.resources.inst_per_startup
+        self._inst_per_cc_request = config.inst_per_cc_request
+        self._inst_per_update = config.resources.inst_per_update
 
     # ------------------------------------------------------------------
     # Terminals
@@ -134,7 +141,8 @@ class TransactionManager:
                 self.env.now,
             )
             self.active_transactions += 1
-            self._trace(EventKind.ORIGINATED, transaction)
+            if self._tracing:
+                self._trace(EventKind.ORIGINATED, transaction)
             yield self.env.process(
                 self._run_transaction(transaction),
                 name=f"txn-{transaction.tid}",
@@ -152,7 +160,8 @@ class TransactionManager:
                 transaction, self.env.now
             )
             transaction.begin_attempt()
-            self._trace(EventKind.ATTEMPT_STARTED, transaction)
+            if self._tracing:
+                self._trace(EventKind.ATTEMPT_STARTED, transaction)
             committed = yield self.env.process(
                 self._attempt(transaction),
                 name=f"coord-{transaction.tid}.{transaction.attempt}",
@@ -196,9 +205,7 @@ class TransactionManager:
         env = self.env
         transaction.abort_event = env.event()
         # Coordinator process startup at the host.
-        yield from self.host.resources.execute(
-            self.config.resources.inst_per_startup
-        )
+        yield from self.host.resources.execute(self._inst_per_startup)
         cohorts = transaction.cohorts
         for cohort in cohorts:
             cohort.done_event = env.event()
@@ -231,9 +238,10 @@ class TransactionManager:
             transaction, env.now
         )
         for cohort in cohorts:
-            self._trace(
-                EventKind.PREPARE_SENT, transaction, cohort.node
-            )
+            if self._tracing:
+                self._trace(
+                    EventKind.PREPARE_SENT, transaction, cohort.node
+                )
             self._post_control(cohort, _PREPARE)
         all_votes = env.all_of(
             [cohort.vote_event for cohort in cohorts]
@@ -265,9 +273,10 @@ class TransactionManager:
 
     def _post_load(self, cohort: Cohort) -> None:
         cohort.load_posted = True
-        self._trace(
-            EventKind.COHORT_LOADED, cohort.transaction, cohort.node
-        )
+        if self._tracing:
+            self._trace(
+                EventKind.COHORT_LOADED, cohort.transaction, cohort.node
+            )
         self.network.post(
             HOST_NODE, cohort.node, self._deliver_load, cohort
         )
@@ -279,9 +288,10 @@ class TransactionManager:
             # behind this one) will clean up and acknowledge.
             return
         cohort.started = True
-        self._trace(
-            EventKind.COHORT_STARTED, transaction, cohort.node
-        )
+        if self._tracing:
+            self._trace(
+                EventKind.COHORT_STARTED, transaction, cohort.node
+            )
         cohort.process = self.env.process(
             self._cohort_body(cohort),
             name=(
@@ -302,6 +312,23 @@ class TransactionManager:
         cohort, verb = payload
         if cohort.mailbox is not None:
             cohort.mailbox.put(verb)
+
+    # ------------------------------------------------------------------
+    # Messages from cohorts to coordinator
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _deliver_done(cohort: Cohort) -> None:
+        cohort.done_event.succeed()
+
+    @staticmethod
+    def _deliver_vote(payload: Tuple[Cohort, bool]) -> None:
+        cohort, vote = payload
+        cohort.vote_event.succeed(vote)
+
+    @staticmethod
+    def _deliver_commit_ack(cohort: Cohort) -> None:
+        cohort.commit_ack_event.succeed()
 
     # ------------------------------------------------------------------
     # Abort path
@@ -366,10 +393,12 @@ class TransactionManager:
         manager = self._cc_manager(cohort.node)
         manager.abort(cohort)
         self.network.post(
-            cohort.node,
-            HOST_NODE,
-            lambda _payload: cohort.abort_ack_event.succeed(),
+            cohort.node, HOST_NODE, self._deliver_abort_ack, cohort
         )
+
+    @staticmethod
+    def _deliver_abort_ack(cohort: Cohort) -> None:
+        cohort.abort_ack_event.succeed()
 
     # ------------------------------------------------------------------
     # Cohorts
@@ -387,9 +416,7 @@ class TransactionManager:
         manager = self._cc_manager(cohort.node)
         try:
             # Cohort process startup at the processing node.
-            yield from resources.execute(
-                self.config.resources.inst_per_startup
-            )
+            yield from resources.execute(self._inst_per_startup)
             manager.register_cohort(cohort)
             for access in cohort.spec.accesses:
                 if access.install_only:
@@ -436,26 +463,24 @@ class TransactionManager:
                         )
                     )
             cohort.finished_work = True
-            self._trace(
-                EventKind.COHORT_DONE, transaction, cohort.node
-            )
+            if self._tracing:
+                self._trace(
+                    EventKind.COHORT_DONE, transaction, cohort.node
+                )
             self.network.post(
-                cohort.node,
-                HOST_NODE,
-                lambda _payload: cohort.done_event.succeed(),
+                cohort.node, HOST_NODE, self._deliver_done, cohort
             )
             # ----- two-phase commit, participant side -----
             verb = yield cohort.mailbox.get()
             assert verb == _PREPARE, f"unexpected control {verb!r}"
             vote = manager.prepare(cohort)
-            self._trace(
-                EventKind.VOTED, transaction, cohort.node, vote
-            )
+            if self._tracing:
+                self._trace(
+                    EventKind.VOTED, transaction, cohort.node, vote
+                )
             self.network.post(
-                cohort.node,
-                HOST_NODE,
-                lambda v: cohort.vote_event.succeed(v),
-                vote,
+                cohort.node, HOST_NODE, self._deliver_vote,
+                (cohort, vote),
             )
             verb = yield cohort.mailbox.get()
             assert verb == _COMMIT, f"unexpected control {verb!r}"
@@ -464,9 +489,8 @@ class TransactionManager:
                 self.auditor.on_installed(cohort, installed)
             yield from self._write_back(resources, installed)
             self.network.post(
-                cohort.node,
-                HOST_NODE,
-                lambda _payload: cohort.commit_ack_event.succeed(),
+                cohort.node, HOST_NODE, self._deliver_commit_ack,
+                cohort,
             )
         except Interrupt:
             # Aborted by the coordinator: CC cleanup happened (or will
@@ -478,9 +502,7 @@ class TransactionManager:
     ):
         """Initiate the asynchronous post-commit disk writes."""
         for _page in pages:
-            yield from resources.execute(
-                self.config.resources.inst_per_update
-            )
+            yield from resources.execute(self._inst_per_update)
             resources.initiate_async_write()
 
     def _cc_access(
@@ -492,10 +514,8 @@ class TransactionManager:
         write: bool,
     ):
         """One concurrency control request; returns True when granted."""
-        if self.config.inst_per_cc_request > 0.0:
-            yield from resources.execute(
-                self.config.inst_per_cc_request
-            )
+        if self._inst_per_cc_request > 0.0:
+            yield from resources.execute(self._inst_per_cc_request)
         if write:
             response = manager.write_request(cohort, page)
         else:
@@ -508,20 +528,22 @@ class TransactionManager:
             return False
         assert response.event is not None
         blocked_at = self.env.now
-        self._trace(
-            EventKind.BLOCKED,
-            cohort.transaction,
-            cohort.node,
-            page,
-        )
+        if self._tracing:
+            self._trace(
+                EventKind.BLOCKED,
+                cohort.transaction,
+                cohort.node,
+                page,
+            )
         outcome = yield response.event
         self.metrics.record_blocking(self.env.now - blocked_at)
-        self._trace(
-            EventKind.UNBLOCKED,
-            cohort.transaction,
-            cohort.node,
-            outcome,
-        )
+        if self._tracing:
+            self._trace(
+                EventKind.UNBLOCKED,
+                cohort.transaction,
+                cohort.node,
+                outcome,
+            )
         granted = outcome is RequestResult.GRANTED
         if granted and not write and self.auditor is not None:
             self.auditor.on_read_granted(cohort, page)

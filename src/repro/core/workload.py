@@ -41,6 +41,20 @@ class Source:
         self.database = database
         self.streams = streams
         self._class_of_terminal = self._assign_classes()
+        # Hot-path stream handles: the named-stream lookups below are
+        # made once here instead of per draw.  Streams are seeded by
+        # name, so grabbing them eagerly changes no draw sequence.
+        self._page_count_stream = streams.get("page-count")
+        self._page_choice_stream = streams.get("page-choice")
+        self._write_coin_stream = streams.get("write-coin")
+        self._inst_draw = streams.get("inst-per-page").expovariate
+        self._think_draws = [
+            streams.get(f"think-{terminal}").expovariate
+            for terminal in range(config.num_terminals)
+        ]
+        self._inv_think = (
+            1.0 / config.think_time if config.think_time > 0.0 else 0.0
+        )
 
     def _assign_classes(self) -> List[TransactionClassConfig]:
         """Split terminals between classes by ClassFrac (deterministic)."""
@@ -141,19 +155,27 @@ class Source:
         self, cls: TransactionClassConfig, relation: int, partition: int
     ) -> List[PageAccess]:
         """Draw the page reads (and update flags) for one partition."""
-        num_pages = self.streams.uniform_int(
-            "page-count", cls.min_pages_per_file, cls.max_pages_per_file
+        num_pages = self._page_count_stream.randint(
+            cls.min_pages_per_file, cls.max_pages_per_file
         )
-        num_pages = min(num_pages, self.database.pages_per_partition)
-        page_indices = self.streams.sample_without_replacement(
-            "page-choice", self.database.pages_per_partition, num_pages
+        pages_per_partition = self.database.pages_per_partition
+        num_pages = min(num_pages, pages_per_partition)
+        page_indices = self._page_choice_stream.sample(
+            range(pages_per_partition), num_pages
         )
+        write_probability = cls.write_probability
+        coin = self._write_coin_stream.random
         accesses = []
         for index in page_indices:
             page = PageId(relation, partition, index)
-            is_update = self.streams.bernoulli(
-                "write-coin", cls.write_probability
-            )
+            # Mirrors RandomStreams.bernoulli: degenerate probabilities
+            # consume no draw.
+            if write_probability <= 0.0:
+                is_update = False
+            elif write_probability >= 1.0:
+                is_update = True
+            else:
+                is_update = coin() < write_probability
             accesses.append(PageAccess(page=page, is_update=is_update))
         return accesses
 
@@ -171,12 +193,15 @@ class Source:
 
     def think_time(self, terminal: int) -> float:
         """Draw an exponential think time (0 when the mean is 0)."""
-        return self.streams.exponential(
-            f"think-{terminal}", self.config.think_time
-        )
+        if self.config.think_time <= 0.0:
+            return 0.0
+        return self._think_draws[terminal](self._inv_think)
 
     def page_processing_instructions(
         self, cls: TransactionClassConfig
     ) -> float:
         """Exponential per-page instruction count (mean InstPerPage)."""
-        return self.streams.exponential("inst-per-page", cls.inst_per_page)
+        mean = cls.inst_per_page
+        if mean <= 0.0:
+            return 0.0
+        return self._inst_draw(1.0 / mean)

@@ -47,7 +47,7 @@ __all__ = [
 #: Bump whenever simulation behaviour changes in a way that makes old
 #: cached results wrong (kernel scheduling changes, model fixes, new
 #: result fields).  Any bump invalidates the entire cache.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Default location, relative to the current working directory, used by
 #: the CLI and benchmarks; overridable via ``$REPRO_CACHE_DIR``.

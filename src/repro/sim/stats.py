@@ -20,7 +20,13 @@ from __future__ import annotations
 import math
 from typing import Optional
 
-__all__ = ["BatchMeans", "Counter", "Tally", "TimeWeighted"]
+__all__ = [
+    "BatchMeans",
+    "Counter",
+    "StreamingHistogram",
+    "Tally",
+    "TimeWeighted",
+]
 
 
 class Tally:
@@ -145,6 +151,97 @@ class Counter:
 
     def __repr__(self) -> str:
         return f"<Counter {self.count}>"
+
+
+class StreamingHistogram:
+    """Fixed-bin histogram for streaming percentile estimates.
+
+    Observations are counted into ``num_bins`` equal-width bins over
+    ``[low, high)``; values outside the range land in dedicated
+    underflow/overflow buckets so the count never lies.  Memory is O(bins)
+    and :meth:`record` is O(1), which keeps it safe for the kernel hot
+    path — no per-observation list append, no sort at report time.
+
+    Percentiles are estimated by linear interpolation within the bin
+    containing the requested rank.  The estimate's resolution is the bin
+    width; for the response-time distributions reported here (seconds,
+    range [0, 60)) that is well below the batch-means noise floor.
+    """
+
+    __slots__ = (
+        "low",
+        "high",
+        "num_bins",
+        "_width",
+        "_bins",
+        "count",
+        "_underflow",
+        "_overflow",
+    )
+
+    def __init__(
+        self, low: float = 0.0, high: float = 60.0, num_bins: int = 600
+    ):
+        if num_bins < 1:
+            raise ValueError("num_bins must be positive")
+        if not high > low:
+            raise ValueError(f"need high > low, got [{low}, {high})")
+        self.low = low
+        self.high = high
+        self.num_bins = num_bins
+        self._width = (high - low) / num_bins
+        self._bins = [0] * num_bins
+        self.count = 0
+        self._underflow = 0
+        self._overflow = 0
+
+    def record(self, value: float) -> None:
+        """Count one observation into its bin."""
+        self.count += 1
+        if value < self.low:
+            self._underflow += 1
+        elif value >= self.high:
+            self._overflow += 1
+        else:
+            self._bins[int((value - self.low) / self._width)] += 1
+
+    def percentile(self, fraction: float) -> float:
+        """Estimate the ``fraction`` quantile (e.g. 0.5 for the median).
+
+        Returns 0.0 when empty.  Ranks that fall in the underflow
+        (overflow) bucket clamp to ``low`` (``high``), so out-of-range
+        mass degrades the estimate gracefully instead of silently
+        vanishing.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if self.count == 0:
+            return 0.0
+        # Rank of the requested quantile among the counted observations.
+        rank = fraction * self.count
+        if rank <= self._underflow:
+            return self.low
+        cumulative = float(self._underflow)
+        width = self._width
+        for index, bin_count in enumerate(self._bins):
+            if bin_count and cumulative + bin_count >= rank:
+                within = (rank - cumulative) / bin_count
+                return self.low + (index + within) * width
+            cumulative += bin_count
+        return self.high
+
+    def reset(self) -> None:
+        """Discard all observations (end of warmup)."""
+        self._bins = [0] * self.num_bins
+        self.count = 0
+        self._underflow = 0
+        self._overflow = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<StreamingHistogram n={self.count}"
+            f" range=[{self.low}, {self.high})>"
+        )
 
 
 # Student-t 97.5% quantiles for small degrees of freedom; beyond the table

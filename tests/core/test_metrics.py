@@ -109,3 +109,50 @@ class TestSimulationResult:
         text = str(make_result())
         assert "tput=5.000" in text
         assert "abort_ratio=0.100" in text
+
+
+class TestResponsePercentiles:
+    def test_commits_feed_the_histogram(self):
+        metrics = MetricsCollector()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            metrics.record_commit(value)
+        assert metrics.response_histogram.count == 4
+        median = metrics.response_histogram.percentile(0.5)
+        assert 1.9 <= median <= 2.2
+
+    def test_reset_clears_the_histogram(self):
+        metrics = MetricsCollector()
+        metrics.record_commit(10.0)
+        metrics.reset(5.0)
+        assert metrics.response_histogram.count == 0
+
+    def test_percentile_fields_default_and_export(self):
+        result = make_result()
+        assert result.response_time_p50 == 0.0
+        data = make_result(
+            response_time_p50=1.5,
+            response_time_p90=3.0,
+            response_time_p99=9.0,
+        ).as_dict()
+        assert data["response_p50"] == 1.5
+        assert data["response_p90"] == 3.0
+        assert data["response_p99"] == 9.0
+
+    def test_percentiles_ordered_in_simulation_output(self):
+        # End-to-end: a short run populates ordered percentiles.
+        from repro.core.config import paper_default_config
+
+        from repro.core.simulation import run_simulation
+
+        config = paper_default_config(
+            "no_dc", think_time=1.0, seed=3
+        ).with_(duration=6.0, warmup=2.0)
+        result = run_simulation(config)
+        assert result.commits > 0
+        assert (
+            0.0
+            < result.response_time_p50
+            <= result.response_time_p90
+            <= result.response_time_p99
+        )
+        assert result.response_time_p50 <= 2 * result.mean_response_time

@@ -4,7 +4,13 @@ import math
 
 import pytest
 
-from repro.sim.stats import BatchMeans, Counter, Tally, TimeWeighted
+from repro.sim.stats import (
+    BatchMeans,
+    Counter,
+    StreamingHistogram,
+    Tally,
+    TimeWeighted,
+)
 
 
 class TestTally:
@@ -151,3 +157,68 @@ class TestBatchMeans:
         batches.record(1.0)  # completes a batch of mean 1
         batches.record(100.0)  # pending, not yet a batch
         assert batches.mean == pytest.approx(1.0)
+
+
+class TestStreamingHistogram:
+    def test_empty_percentiles_are_zero(self):
+        histogram = StreamingHistogram(0.0, 10.0, num_bins=10)
+        assert histogram.count == 0
+        assert histogram.percentile(0.5) == 0.0
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram(0.0, 10.0, num_bins=0)
+        with pytest.raises(ValueError):
+            StreamingHistogram(5.0, 5.0)
+
+    def test_invalid_fraction_rejected(self):
+        histogram = StreamingHistogram(0.0, 10.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(1.5)
+
+    def test_percentiles_match_sorted_data(self):
+        # Against exact order statistics on a known sample: with fine
+        # bins the interpolation error is below one bin width.
+        histogram = StreamingHistogram(0.0, 100.0, num_bins=1000)
+        values = [((i * 37) % 100) + 0.5 for i in range(100)]
+        for value in values:
+            histogram.record(value)
+        ordered = sorted(values)
+        for fraction in (0.10, 0.50, 0.90, 0.99):
+            # The histogram's rank convention: fraction f lands on the
+            # ceil(f*n)-th smallest observation.
+            rank = math.ceil(fraction * len(ordered))
+            exact = ordered[max(0, rank - 1)]
+            assert histogram.percentile(fraction) == pytest.approx(
+                exact, abs=2 * (100.0 / 1000)
+            )
+
+    def test_median_of_uniform_grid(self):
+        histogram = StreamingHistogram(0.0, 10.0, num_bins=100)
+        for index in range(1000):
+            histogram.record(index / 100.0)
+        assert histogram.percentile(0.5) == pytest.approx(5.0, abs=0.2)
+
+    def test_out_of_range_values_clamp(self):
+        histogram = StreamingHistogram(0.0, 10.0, num_bins=10)
+        for _ in range(10):
+            histogram.record(-5.0)
+        for _ in range(10):
+            histogram.record(50.0)
+        assert histogram.count == 20
+        assert histogram.percentile(0.25) == 0.0  # underflow clamps low
+        assert histogram.percentile(0.99) == 10.0  # overflow clamps high
+
+    def test_reset_discards_everything(self):
+        histogram = StreamingHistogram(0.0, 10.0, num_bins=10)
+        histogram.record(3.0)
+        histogram.record(30.0)
+        histogram.reset()
+        assert histogram.count == 0
+        assert histogram.percentile(0.9) == 0.0
+
+    def test_single_observation(self):
+        histogram = StreamingHistogram(0.0, 60.0, num_bins=600)
+        histogram.record(12.34)
+        median = histogram.percentile(0.5)
+        assert abs(median - 12.34) < 60.0 / 600
