@@ -233,7 +233,12 @@ class LockManager:
     def release_all(self, txn: Transaction) -> None:
         """Drop every lock and queued request of ``txn`` at this node."""
         touched: List[PageId] = []
-        for page in self._held.pop(txn, set()):
+        # The grant pass fires blocked requests' events in the order
+        # pages are visited, so iterating the held-set directly would
+        # make wakeup order hash-dependent; sort for an explicit,
+        # reproducible tie-break (PageId orders by
+        # (relation, partition, page)).
+        for page in sorted(self._held.pop(txn, set())):
             entry = self._table[page]
             entry.holders.pop(txn, None)
             touched.append(page)

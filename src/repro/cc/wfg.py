@@ -76,10 +76,16 @@ def find_cycle_from(
 
 
 def youngest(members: Sequence[Transaction]) -> Transaction:
-    """The member with the most recent initial startup timestamp."""
+    """The member with the most recent initial startup timestamp.
+
+    Ties (e.g. transactions that have not been stamped yet, which all
+    compare as ``(0.0, 0)``) break on transaction id rather than on the
+    members' iteration order, so victim choice never depends on how
+    the cycle happened to be walked.
+    """
     return max(
         members,
-        key=lambda txn: txn.startup_timestamp or (0.0, 0),
+        key=lambda txn: (txn.startup_timestamp or (0.0, 0), txn.tid),
     )
 
 

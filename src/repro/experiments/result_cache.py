@@ -47,7 +47,9 @@ __all__ = [
 #: Bump whenever simulation behaviour changes in a way that makes old
 #: cached results wrong (kernel scheduling changes, model fixes, new
 #: result fields).  Any bump invalidates the entire cache.
-SCHEMA_VERSION = 2
+#: 3: lock release order made explicitly deterministic (sorted PageId
+#:    grant passes) instead of set-iteration order.
+SCHEMA_VERSION = 3
 
 #: Default location, relative to the current working directory, used by
 #: the CLI and benchmarks; overridable via ``$REPRO_CACHE_DIR``.

@@ -1,0 +1,39 @@
+"""simlint — determinism & kernel-protocol static analysis.
+
+The simulator must be a pure function of its configuration: identical
+configs (seed included) give bit-identical schedules and metrics.  That
+property is easy to break with ordinary-looking Python — an ``id()``
+-keyed dict, a module-level ``random.random()`` call, iterating a
+``set`` to pick a deadlock victim — and such breaks are invisible to
+the type checker and usually to the test suite (they only show up as
+rare cross-run flakes).  simlint rejects those bug classes at review
+time by walking the AST of every source file.
+
+Usage::
+
+    python -m repro.lint src benchmarks tests
+    python -m repro.lint src --format=json
+    python -m repro.lint --list-rules
+
+Findings that are intentional are silenced inline::
+
+    if top.time == now:  # simlint: ignore[float-time-equality]
+
+See :mod:`repro.lint.rules` for the rule set and
+:mod:`repro.lint.engine` for the caching file driver.
+"""
+
+from repro.lint.engine import LintReport, lint_file, lint_paths
+from repro.lint.registry import Rule, all_rules, get_rule, rules_signature
+from repro.lint.violations import Violation
+
+__all__ = [
+    "LintReport",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+    "rules_signature",
+]

@@ -1,0 +1,141 @@
+"""``python -m repro.lint`` — the simlint command line.
+
+Exit codes: 0 clean, 1 unsuppressed violations, 2 usage errors
+(unknown rule ids, missing paths).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.cache import LintCache, default_cache_path
+from repro.lint.engine import lint_paths
+from repro.lint.registry import all_rules, get_rule
+from repro.lint.reporters import render_json, render_text
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "simlint: determinism & kernel-protocol static analysis "
+            "for the simulator sources"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "benchmarks", "tests"],
+        help=(
+            "files or directories to lint "
+            "(default: src benchmarks tests)"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="lint every file even if cached",
+    )
+    parser.add_argument(
+        "--cache-file",
+        metavar="PATH",
+        help=(
+            "cache location (default: $REPRO_LINT_CACHE or "
+            "results/.cache/simlint.json)"
+        ),
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="include suppressed findings in text output",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        scope = (
+            "+".join(
+                fragment.strip("/").split("/")[-1]
+                for fragment in rule.include
+            )
+            if rule.include
+            else "all"
+        )
+        lines.append(f"{rule.rule_id}  [{scope}]")
+        lines.append(f"    {rule.summary}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the linter; returns the process exit code."""
+    parser = _build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        print(_list_rules())
+        return 0
+
+    rules = all_rules()
+    if options.select:
+        try:
+            rules = [
+                get_rule(rule_id.strip())
+                for rule_id in options.select.split(",")
+                if rule_id.strip()
+            ]
+        except KeyError as error:
+            print(f"unknown rule id: {error.args[0]}", file=sys.stderr)
+            return 2
+        if not rules:
+            print("--select named no rules", file=sys.stderr)
+            return 2
+
+    cache = None
+    if not options.no_cache:
+        cache_path = (
+            Path(options.cache_file)
+            if options.cache_file
+            else default_cache_path()
+        )
+        cache = LintCache(cache_path)
+
+    try:
+        report = lint_paths(
+            [Path(p) for p in options.paths], rules, cache
+        )
+    except FileNotFoundError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    if options.format == "json":
+        print(render_json(report))
+    else:
+        print(
+            render_text(
+                report, show_suppressed=options.show_suppressed
+            )
+        )
+    return 0 if report.ok else 1

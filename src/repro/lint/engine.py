@@ -1,0 +1,186 @@
+"""File discovery and the lint driver.
+
+``lint_paths`` walks the given files/directories, lints every ``*.py``
+(through the content-hash cache when one is supplied), applies inline
+suppressions, and returns a :class:`LintReport` with stable ordering —
+the same tree always produces byte-identical output, which is itself a
+determinism property the reporters rely on.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.lint.cache import LintCache
+from repro.lint.registry import Rule, all_rules, rules_signature
+from repro.lint.suppress import apply_suppressions
+from repro.lint.violations import Violation
+
+__all__ = ["LintReport", "discover_files", "lint_file", "lint_paths"]
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset(
+    {
+        ".git",
+        ".hypothesis",
+        ".mypy_cache",
+        ".pytest_cache",
+        ".ruff_cache",
+        ".venv",
+        "__pycache__",
+        "node_modules",
+    }
+)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files: int = 0
+    cache_hits: int = 0
+
+    @property
+    def active(self) -> List[Violation]:
+        """Unsuppressed violations — the ones that fail the run."""
+        return [v for v in self.violations if not v.suppressed]
+
+    @property
+    def suppressed(self) -> List[Violation]:
+        """Findings waived by inline comments."""
+        return [v for v in self.violations if v.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the tree is clean (no unsuppressed violations)."""
+        return not self.active
+
+
+def discover_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files.
+
+    Missing paths raise ``FileNotFoundError`` — a mistyped directory
+    must not silently lint nothing and report success.
+    """
+    seen = set()
+    files: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        if path.is_file():
+            candidates: Iterable[Path] = [path]
+        else:
+            candidates = (
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if not _SKIP_DIRS.intersection(candidate.parts)
+            )
+        for candidate in candidates:
+            marker = candidate.resolve()
+            if marker not in seen:
+                seen.add(marker)
+                files.append(candidate)
+    files.sort(key=lambda f: f.as_posix())
+    return files
+
+
+def lint_source(
+    source: str, path: str, rules: Optional[List[Rule]] = None
+) -> List[Violation]:
+    """Lint already-loaded source text (fixture/test entry point)."""
+    if rules is None:
+        rules = all_rules()
+    posix_path = Path(path).as_posix()
+    try:
+        tree = ast.parse(source, filename=posix_path)
+    except SyntaxError as error:
+        return [
+            Violation(
+                rule_id="parse-error",
+                path=posix_path,
+                line=error.lineno or 1,
+                col=(error.offset or 1),
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    violations: List[Violation] = []
+    for rule in rules:
+        if rule.applies_to(posix_path):
+            violations.extend(rule.check(tree, source, posix_path))
+    violations = apply_suppressions(violations, source)
+    violations.sort(key=lambda v: v.sort_key)
+    return violations
+
+
+def lint_file(
+    path: Path,
+    rules: Optional[List[Rule]] = None,
+    cache: Optional[LintCache] = None,
+    signature: Optional[str] = None,
+) -> List[Violation]:
+    """Lint one file, consulting ``cache`` when provided."""
+    if rules is None:
+        rules = all_rules()
+    path = Path(path)
+    data = path.read_bytes()
+    posix_path = path.as_posix()
+    if cache is not None:
+        if signature is None:
+            signature = rules_signature(rules)
+        key = LintCache.key(
+            hashlib.sha256(data).hexdigest(), signature
+        )
+        cached = cache.get(key)
+        if cached is not None:
+            return [v.with_path(posix_path) for v in cached]
+    violations = lint_source(
+        data.decode("utf-8", errors="replace"), posix_path, rules
+    )
+    if cache is not None:
+        cache.put(key, violations)
+    return violations
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    rules: Optional[List[Rule]] = None,
+    cache: Optional[LintCache] = None,
+) -> LintReport:
+    """Lint a set of files/directories into one report."""
+    if rules is None:
+        rules = all_rules()
+    signature = rules_signature(rules)
+    report = LintReport()
+    for path in discover_files(paths):
+        data = path.read_bytes()
+        posix_path = path.as_posix()
+        report.files += 1
+        if cache is not None:
+            key = LintCache.key(
+                hashlib.sha256(data).hexdigest(), signature
+            )
+            cached = cache.get(key)
+            if cached is not None:
+                report.cache_hits += 1
+                report.violations.extend(
+                    v.with_path(posix_path) for v in cached
+                )
+                continue
+        violations = lint_source(
+            data.decode("utf-8", errors="replace"),
+            posix_path,
+            rules,
+        )
+        if cache is not None:
+            cache.put(key, violations)
+        report.violations.extend(violations)
+    if cache is not None:
+        cache.save()
+    report.violations.sort(key=lambda v: v.sort_key)
+    return report

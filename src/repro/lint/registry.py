@@ -1,0 +1,124 @@
+"""Rule base class and the process-wide rule registry.
+
+Rules register themselves with the :func:`register` decorator at import
+time (importing :mod:`repro.lint.rules` populates the registry).  Each
+rule carries a ``version`` stamp; the combined signature of every
+registered rule feeds the per-file cache key, so editing or adding a
+rule invalidates exactly the cached results it could change.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from typing import Dict, List, Tuple, Type
+
+from repro.lint.violations import Violation
+
+__all__ = [
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register",
+    "rules_signature",
+]
+
+
+class Rule:
+    """One static check.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+
+    ``include``/``exclude`` scope the rule by path substring (matched
+    against the POSIX form of the file path): with a non-empty
+    ``include`` the rule only runs on paths containing one of the
+    fragments; any ``exclude`` fragment wins over ``include``.  This is
+    how "wall-clock reads are fine in benchmark timing loops" and
+    "unordered iteration only matters where schedules are decided" are
+    expressed without a config file.
+    """
+
+    #: Stable kebab-case identifier, used in reports and suppressions.
+    rule_id: str = ""
+    #: One-line description for ``--list-rules`` and the docs table.
+    summary: str = ""
+    #: Bumped whenever the rule's behaviour changes (cache invalidation).
+    version: int = 1
+    #: Path fragments the rule is limited to (empty = everywhere).
+    include: Tuple[str, ...] = ()
+    #: Path fragments the rule never runs on.
+    exclude: Tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        """Whether this rule runs on ``path`` (POSIX string)."""
+        if any(fragment in path for fragment in self.exclude):
+            return False
+        if self.include:
+            return any(fragment in path for fragment in self.include)
+        return True
+
+    def check(
+        self, tree: ast.AST, source: str, path: str
+    ) -> List[Violation]:
+        """Findings for one parsed file; locations must be 1-based."""
+        raise NotImplementedError
+
+    def violation(
+        self, path: str, node: ast.AST, message: str = ""
+    ) -> Violation:
+        """Convenience constructor anchored at ``node``."""
+        return Violation(
+            rule_id=self.rule_id,
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message or self.summary,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register a rule."""
+    rule = rule_class()
+    if not rule.rule_id:
+        raise ValueError(f"{rule_class.__name__} has no rule_id")
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id: {rule.rule_id}")
+    _REGISTRY[rule.rule_id] = rule
+    return rule_class
+
+
+def _ensure_loaded() -> None:
+    if not _REGISTRY:
+        import repro.lint.rules  # noqa: F401 - registers on import
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, ordered by id for stable output."""
+    _ensure_loaded()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule; raises ``KeyError`` for unknown ids."""
+    _ensure_loaded()
+    return _REGISTRY[rule_id]
+
+
+def rules_signature(rules: List[Rule] = None) -> str:
+    """Digest of the active rule set, part of every cache key.
+
+    Covers rule ids, versions, and scoping, so changing any of them
+    invalidates cached per-file results.
+    """
+    if rules is None:
+        rules = all_rules()
+    parts = [
+        f"{r.rule_id}:{r.version}:{','.join(r.include)}"
+        f":{','.join(r.exclude)}"
+        for r in sorted(rules, key=lambda r: r.rule_id)
+    ]
+    digest = hashlib.sha256("|".join(parts).encode("utf-8"))
+    return digest.hexdigest()[:16]

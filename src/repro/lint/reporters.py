@@ -1,0 +1,57 @@
+"""Text and JSON renderings of a :class:`~repro.lint.engine.LintReport`."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.lint.engine import LintReport
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(
+    report: LintReport, show_suppressed: bool = False
+) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines: List[str] = []
+    for violation in report.violations:
+        if violation.suppressed and not show_suppressed:
+            continue
+        marker = " (suppressed)" if violation.suppressed else ""
+        lines.append(
+            f"{violation.path}:{violation.line}:{violation.col}: "
+            f"[{violation.rule_id}]{marker} {violation.message}"
+        )
+    active = len(report.active)
+    suppressed = len(report.suppressed)
+    if active:
+        summary = (
+            f"{active} violation{'s' if active != 1 else ''}"
+            f" ({suppressed} suppressed) in {report.files} files"
+        )
+    else:
+        summary = (
+            f"clean: 0 violations ({suppressed} suppressed) in "
+            f"{report.files} files"
+        )
+    if report.cache_hits:
+        summary += f" [{report.cache_hits} cached]"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report; always includes suppressed findings."""
+    payload = {
+        "version": 1,
+        "summary": {
+            "files": report.files,
+            "violations": len(report.active),
+            "suppressed": len(report.suppressed),
+            "cache_hits": report.cache_hits,
+            "ok": report.ok,
+        },
+        "violations": [v.as_dict() for v in report.violations],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,562 @@
+"""The shipped simlint rule set.
+
+Each rule targets a bug class this codebase has actually hit (or nearly
+hit) while keeping figure replications seed-stable:
+
+``id-keyed-container``
+    ``d[id(obj)]`` — CPython reuses ids after garbage collection, so an
+    id-keyed entry can be claimed by an unrelated object (the PR 2
+    ``Timeout`` bug).  Key containers by the object itself.
+``unseeded-global-random``
+    Module-level ``random.*`` / ``numpy.random.*`` draws inside the
+    simulator share one ambient stream: any new call site perturbs
+    every stream after it and breaks common-random-numbers runs.  All
+    randomness must come from injected ``random.Random`` streams.
+``wall-clock``
+    ``time.time()`` / ``datetime.now()`` readings leak host timing into
+    a simulation whose only clock is ``env.now``.
+``unordered-set-iteration``
+    Iterating a ``set`` where schedules, grants, or victims are decided
+    makes the outcome hash-order-dependent; wrap in ``sorted()`` with
+    an explicit key.
+``float-time-equality``
+    ``==`` / ``!=`` on simulated-time floats is only sound when both
+    sides are copies of the same scheduled value; anywhere else it
+    silently depends on floating-point drift.  Flagged so every exact
+    comparison is either restructured or carries a justifying
+    suppression.
+``process-protocol``
+    Kernel misuse inside generator process bodies: yielding a value
+    that is obviously not a :class:`~repro.sim.kernel.Waitable`
+    (a bare ``yield``, a literal) or calling ``env.run()`` reentrantly
+    from inside a process.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.lint.registry import Rule, register
+from repro.lint.violations import Violation
+
+__all__ = [
+    "FloatTimeEqualityRule",
+    "IdKeyedContainerRule",
+    "ProcessProtocolRule",
+    "UnorderedSetIterationRule",
+    "UnseededGlobalRandomRule",
+    "WallClockRule",
+]
+
+
+def _is_id_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "id"
+    )
+
+
+@register
+class IdKeyedContainerRule(Rule):
+    """Containers keyed by ``id(...)``."""
+
+    rule_id = "id-keyed-container"
+    summary = (
+        "container keyed by id(obj): ids are recycled after GC, so a "
+        "stale entry can be claimed by an unrelated object; key by the "
+        "object itself (identity hash) or attach the state to it"
+    )
+    version = 1
+
+    _KEYED_METHODS = frozenset(
+        {"get", "pop", "setdefault", "add", "discard", "remove"}
+    )
+
+    def check(self, tree, source, path):
+        violations: List[Violation] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Subscript) and _is_id_call(
+                node.slice
+            ):
+                violations.append(self.violation(path, node))
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in self._KEYED_METHODS
+                    and node.args
+                    and _is_id_call(node.args[0])
+                ):
+                    violations.append(self.violation(path, node))
+            elif isinstance(node, ast.Compare):
+                if any(
+                    isinstance(op, (ast.In, ast.NotIn))
+                    for op in node.ops
+                ) and _is_id_call(node.left):
+                    violations.append(self.violation(path, node))
+            elif isinstance(node, ast.Dict):
+                for key in node.keys:
+                    if key is not None and _is_id_call(key):
+                        violations.append(self.violation(path, key))
+        return violations
+
+
+@register
+class UnseededGlobalRandomRule(Rule):
+    """Module-level RNG draws inside the simulator packages."""
+
+    rule_id = "unseeded-global-random"
+    summary = (
+        "module-level RNG call shares the ambient global stream; draw "
+        "from an injected random.Random stream instead (see "
+        "repro.sim.streams)"
+    )
+    version = 1
+    include = ("repro/sim/", "repro/core/", "repro/cc/")
+
+    _RNG_FUNCS = frozenset(
+        {
+            "betavariate",
+            "choice",
+            "choices",
+            "expovariate",
+            "gammavariate",
+            "gauss",
+            "getrandbits",
+            "lognormvariate",
+            "normalvariate",
+            "paretovariate",
+            "randbytes",
+            "randint",
+            "random",
+            "randrange",
+            "sample",
+            "seed",
+            "shuffle",
+            "triangular",
+            "uniform",
+            "vonmisesvariate",
+            "weibullvariate",
+        }
+    )
+
+    def check(self, tree, source, path):
+        violations: List[Violation] = []
+        bare_imports: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    for alias in node.names:
+                        if alias.name in self._RNG_FUNCS:
+                            bare_imports.add(
+                                alias.asname or alias.name
+                            )
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if (
+                    func.attr in self._RNG_FUNCS
+                    and self._is_global_rng_module(func.value)
+                ):
+                    violations.append(self.violation(path, node))
+            elif isinstance(func, ast.Name):
+                if func.id in bare_imports:
+                    violations.append(self.violation(path, node))
+        return violations
+
+    @staticmethod
+    def _is_global_rng_module(node: ast.AST) -> bool:
+        # ``random.<fn>(...)`` — the stdlib module, not a Random
+        # instance (instances are never named ``random`` here).
+        if isinstance(node, ast.Name):
+            return node.id == "random"
+        # ``numpy.random.<fn>`` / ``np.random.<fn>``.
+        if isinstance(node, ast.Attribute) and node.attr == "random":
+            value = node.value
+            return isinstance(value, ast.Name) and value.id in (
+                "numpy",
+                "np",
+            )
+        return False
+
+
+@register
+class WallClockRule(Rule):
+    """Host-clock reads outside CLI/benchmark timing code."""
+
+    rule_id = "wall-clock"
+    summary = (
+        "wall-clock read inside simulation code: the only clock is "
+        "env.now; host time makes runs irreproducible"
+    )
+    version = 1
+    # CLI progress timing and benchmark harnesses legitimately measure
+    # wall time; everything else simulates it.
+    exclude = ("experiments/", "benchmarks/")
+
+    _TIME_FUNCS = frozenset(
+        {
+            "monotonic",
+            "monotonic_ns",
+            "perf_counter",
+            "perf_counter_ns",
+            "process_time",
+            "process_time_ns",
+            "time",
+            "time_ns",
+        }
+    )
+    _DATETIME_FUNCS = frozenset({"now", "today", "utcnow"})
+
+    def check(self, tree, source, path):
+        violations: List[Violation] = []
+        bare_imports: Set[str] = set()
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.ImportFrom)
+                and node.module == "time"
+            ):
+                for alias in node.names:
+                    if alias.name in self._TIME_FUNCS:
+                        bare_imports.add(alias.asname or alias.name)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                value = func.value
+                if (
+                    func.attr in self._TIME_FUNCS
+                    and isinstance(value, ast.Name)
+                    and value.id == "time"
+                ):
+                    violations.append(self.violation(path, node))
+                elif (
+                    func.attr in self._DATETIME_FUNCS
+                    and self._is_datetime_ref(value)
+                ):
+                    violations.append(self.violation(path, node))
+            elif isinstance(func, ast.Name):
+                if func.id in bare_imports:
+                    violations.append(self.violation(path, node))
+        return violations
+
+    @staticmethod
+    def _is_datetime_ref(node: ast.AST) -> bool:
+        # ``datetime.now`` / ``date.today`` / ``datetime.datetime.now``.
+        if isinstance(node, ast.Name):
+            return node.id in ("datetime", "date")
+        if isinstance(node, ast.Attribute):
+            return node.attr in ("datetime", "date")
+        return False
+
+
+class _SetlikeTracker(ast.NodeVisitor):
+    """Per-function map of local names bound to set-valued expressions."""
+
+    def __init__(self) -> None:
+        self.setlike_names: Set[str] = set()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if _is_setlike(node.value, self.setlike_names):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.setlike_names.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None and _is_setlike(
+            node.value, self.setlike_names
+        ):
+            if isinstance(node.target, ast.Name):
+                self.setlike_names.add(node.target.id)
+        self.generic_visit(node)
+
+    # Name resolution stays within one function body.
+    def visit_FunctionDef(self, node) -> None:  # pragma: no cover
+        pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+    visit_Lambda = visit_FunctionDef
+
+
+def _is_setlike(
+    node: ast.AST, local_names: Optional[Set[str]] = None
+) -> bool:
+    """Whether ``node`` is syntactically a ``set`` expression.
+
+    Recognizes set displays/comprehensions, ``set(...)`` /
+    ``frozenset(...)`` calls, ``d.get(k, set())`` / ``d.pop(k, set())``
+    (the set-valued default makes the result a set), and — when
+    ``local_names`` is supplied — local variables previously bound to
+    one of the above.
+    """
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in (
+            "set",
+            "frozenset",
+        ):
+            return True
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("get", "pop")
+            and any(_is_setlike(arg) for arg in node.args)
+        ):
+            return True
+    if (
+        local_names is not None
+        and isinstance(node, ast.Name)
+        and node.id in local_names
+    ):
+        return True
+    return False
+
+
+@register
+class UnorderedSetIterationRule(Rule):
+    """Set iteration where schedules and victims are decided."""
+
+    rule_id = "unordered-set-iteration"
+    summary = (
+        "iteration order of a set is hash-dependent; wrap in sorted() "
+        "with an explicit key so grant/victim order is deterministic"
+    )
+    version = 1
+    include = ("repro/cc/", "repro/sim/", "repro/core/")
+
+    def check(self, tree, source, path):
+        violations: List[Violation] = []
+        # One tracker per function scope (module level gets its own).
+        scopes: List[ast.AST] = [tree]
+        for node in ast.walk(tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                scopes.append(node)
+        for scope in scopes:
+            tracker = _SetlikeTracker()
+            for statement in scope.body:
+                tracker.visit(statement)
+            names = tracker.setlike_names
+            for node in self._iter_scope(scope):
+                iterables: List[ast.AST] = []
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    iterables.append(node.iter)
+                elif isinstance(
+                    node,
+                    (
+                        ast.ListComp,
+                        ast.SetComp,
+                        ast.DictComp,
+                        ast.GeneratorExp,
+                    ),
+                ):
+                    iterables.extend(
+                        generator.iter
+                        for generator in node.generators
+                    )
+                for iterable in iterables:
+                    if _is_setlike(iterable, names):
+                        violations.append(
+                            self.violation(path, iterable)
+                        )
+        return violations
+
+    @staticmethod
+    def _iter_scope(scope: ast.AST):
+        """Nodes of ``scope`` excluding nested function bodies."""
+        body = scope.body
+        stack = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+            ) and node is not scope:
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+
+_TIME_ATTRS = frozenset({"now", "time"})
+
+
+def _is_timeish(node: ast.AST) -> bool:
+    if isinstance(node, ast.Attribute):
+        return node.attr in _TIME_ATTRS
+    if isinstance(node, ast.Name):
+        return node.id in _TIME_ATTRS
+    return False
+
+
+@register
+class FloatTimeEqualityRule(Rule):
+    """Exact float comparison on simulated-time expressions."""
+
+    rule_id = "float-time-equality"
+    summary = (
+        "== / != on simulated time is exact float comparison; it is "
+        "only sound for copies of one scheduled value — restructure, "
+        "or suppress with a justification"
+    )
+    version = 1
+    # Simulator sources only: tests legitimately assert exact clock
+    # values the kernel guarantees.
+    include = ("repro/sim/", "repro/core/", "repro/cc/")
+
+    def check(self, tree, source, path):
+        violations: List[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if _is_timeish(left) or _is_timeish(right):
+                    violations.append(self.violation(path, node))
+                    break
+        return violations
+
+
+#: Environment factory/combinator methods whose results are waitables;
+#: a generator yielding one of these is treated as a sim-process body.
+_ENV_WAITABLE_METHODS = frozenset(
+    {"all_of", "any_of", "event", "process", "timeout"}
+)
+
+
+def _mentions_env(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id in ("env", "_env"):
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr in (
+            "env",
+            "_env",
+        ):
+            return True
+    return False
+
+
+def _is_env_waitable_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _ENV_WAITABLE_METHODS
+        and _mentions_env(node.func.value)
+    )
+
+
+_OBVIOUS_NON_WAITABLE = (
+    ast.Constant,
+    ast.Tuple,
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.JoinedStr,
+    ast.BinOp,
+    ast.BoolOp,
+    ast.Compare,
+    ast.UnaryOp,
+)
+
+
+@register
+class ProcessProtocolRule(Rule):
+    """Kernel protocol misuse inside generator process bodies."""
+
+    rule_id = "process-protocol"
+    summary = (
+        "sim-process protocol misuse: processes must yield Waitables "
+        "(Event/Timeout/Process/AllOf/AnyOf) and never reenter "
+        "env.run()"
+    )
+    version = 1
+
+    def check(self, tree, source, path):
+        violations: List[Violation] = []
+        for node in ast.walk(tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                self._check_function(node, path, violations)
+        return violations
+
+    def _check_function(
+        self,
+        function: ast.AST,
+        path: str,
+        violations: List[Violation],
+    ) -> None:
+        yields = [
+            node
+            for node in self._function_body_walk(function)
+            if isinstance(node, ast.Yield)
+        ]
+        if not yields:
+            return
+        is_process = any(
+            y.value is not None and _is_env_waitable_call(y.value)
+            for y in yields
+        )
+        # env.run() from inside *any* generator is reentrant dispatch:
+        # the kernel is single-threaded and run() is not recursive.
+        for node in self._function_body_walk(function):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "run"
+                and _mentions_env(node.func.value)
+            ):
+                violations.append(
+                    self.violation(
+                        path,
+                        node,
+                        "env.run() called from inside a generator: "
+                        "the kernel dispatch loop is not reentrant",
+                    )
+                )
+        if not is_process:
+            return
+        for y in yields:
+            if y.value is None:
+                violations.append(
+                    self.violation(
+                        path,
+                        y,
+                        "bare yield in a sim process: processes must "
+                        "yield a Waitable, and None is not one",
+                    )
+                )
+            elif isinstance(y.value, _OBVIOUS_NON_WAITABLE):
+                violations.append(
+                    self.violation(
+                        path,
+                        y,
+                        "sim process yields a non-Waitable literal; "
+                        "the kernel will kill the process with "
+                        "SimulationError",
+                    )
+                )
+
+    @staticmethod
+    def _function_body_walk(function: ast.AST):
+        """Walk a function body without entering nested functions."""
+        stack = list(function.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+            ):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))

@@ -1,0 +1,75 @@
+"""Inline suppression comments.
+
+A finding is silenced by putting::
+
+    # simlint: ignore[rule-id]
+    # simlint: ignore[rule-a, rule-b]
+
+on the *flagged line* (the line the violation is anchored to).  The
+bracket list names the rule ids being waived; a bare ``ignore`` without
+a bracket list is deliberately not supported — blanket waivers hide the
+next, different bug on the same line.
+
+Suppressed findings still appear in JSON output (``"suppressed":
+true``) so the waiver inventory stays auditable.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Set
+
+from repro.lint.violations import Violation
+
+__all__ = ["apply_suppressions", "parse_suppressions"]
+
+_IGNORE_RE = re.compile(
+    r"#\s*simlint:\s*ignore\[([A-Za-z0-9_,\- ]+)\]"
+)
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map of 1-based line number -> rule ids waived on that line."""
+    suppressions: Dict[int, Set[str]] = {}
+    for line_number, line in enumerate(source.splitlines(), start=1):
+        if "simlint" not in line:
+            continue
+        match = _IGNORE_RE.search(line)
+        if match is None:
+            continue
+        rule_ids = {
+            fragment.strip()
+            for fragment in match.group(1).split(",")
+            if fragment.strip()
+        }
+        if rule_ids:
+            suppressions[line_number] = rule_ids
+    return suppressions
+
+
+def apply_suppressions(
+    violations: List[Violation], source: str
+) -> List[Violation]:
+    """Mark violations whose line waives their rule as suppressed."""
+    if not violations:
+        return violations
+    suppressions = parse_suppressions(source)
+    if not suppressions:
+        return violations
+    result: List[Violation] = []
+    for violation in violations:
+        waived = suppressions.get(violation.line, ())
+        if violation.rule_id in waived:
+            result.append(
+                Violation(
+                    rule_id=violation.rule_id,
+                    path=violation.path,
+                    line=violation.line,
+                    col=violation.col,
+                    message=violation.message,
+                    suppressed=True,
+                )
+            )
+        else:
+            result.append(violation)
+    return result

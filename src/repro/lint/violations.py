@@ -1,0 +1,71 @@
+"""The violation record produced by every lint rule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+__all__ = ["Violation"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule fired at a source location.
+
+    ``suppressed`` is True when the flagged line carries a matching
+    ``# simlint: ignore[rule-id]`` comment; suppressed findings are
+    reported (JSON always, text on request) but never fail the run.
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+
+    @property
+    def sort_key(self) -> tuple:
+        """Stable report order: location first, then rule."""
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready rendering (used by the reporter and the cache)."""
+        return {
+            "rule_id": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Violation":
+        """Inverse of :meth:`as_dict` (used by the result cache)."""
+        return cls(
+            rule_id=data["rule_id"],
+            path=data["path"],
+            line=int(data["line"]),
+            col=int(data["col"]),
+            message=data["message"],
+            suppressed=bool(data["suppressed"]),
+        )
+
+    def with_path(self, path: str) -> "Violation":
+        """The same finding relocated to ``path``.
+
+        Cache entries are keyed on file *content*, so a hit may have
+        been recorded under a different path (e.g. a moved file); the
+        engine rebinds the location before reporting.
+        """
+        if path == self.path:
+            return self
+        return Violation(
+            rule_id=self.rule_id,
+            path=path,
+            line=self.line,
+            col=self.col,
+            message=self.message,
+            suppressed=self.suppressed,
+        )

@@ -145,7 +145,10 @@ class ScheduledCallback:
         self.cancelled = False
 
     def __lt__(self, other: "ScheduledCallback") -> bool:
-        if self.time != other.time:
+        # Exact comparison is sound here: both sides are stored
+        # schedule times (never arithmetic results), and the seq
+        # tie-break below handles the equal case explicitly.
+        if self.time != other.time:  # simlint: ignore[float-time-equality]
             return self.time < other.time
         return self.seq < other.seq
 
@@ -812,7 +815,10 @@ class Environment:
                     handle = fast[0]
                     if heap:
                         top = heap[0]
-                        if top.time == now and top.seq < handle.seq:
+                        # Exact: heap entry times are stored schedule
+                        # values and ``now`` was copied from one, so
+                        # equality means "same instant" by construction.
+                        if top.time == now and top.seq < handle.seq:  # simlint: ignore[float-time-equality]
                             handle = top
                             heappop(heap)
                         else:
@@ -834,7 +840,10 @@ class Environment:
                         pool_append(handle)
                     continue
                 time = handle.time
-                if time != now:
+                # Exact: avoids a redundant attribute write when the
+                # clock has not moved; both values are stored schedule
+                # times, never arithmetic results.
+                if time != now:  # simlint: ignore[float-time-equality]
                     now = time
                     self.now = time
                 dispatched += 1

@@ -74,7 +74,12 @@ class CPU:
         self._v = 0.0
         self._v_updated_at = env.now
         self._ps_heap: list[tuple[float, int, _PsJob]] = []
-        self._ps_jobs: dict[int, _PsJob] = {}  # id(event) -> job
+        # Keyed by the Event object itself (identity hash).  Keying by
+        # id(event) would invite the same collision-after-GC class of
+        # bug as the old id(process)-keyed Timeout handles: CPython
+        # recycles ids, so a stale entry could be claimed by an
+        # unrelated event allocated at the same address.
+        self._ps_jobs: dict[Event, _PsJob] = {}
         self._ps_active = 0
         self._ps_timer: Optional[ScheduledCallback] = None
         # Message (FIFO, high-priority) state.
@@ -99,7 +104,7 @@ class CPU:
         self._sync()
         job = _PsJob(self._v + seconds, event)
         heapq.heappush(self._ps_heap, (job.target_v, next(self._seq), job))
-        self._ps_jobs[id(event)] = job
+        self._ps_jobs[event] = job
         self._ps_active += 1
         self._update_busy_stat()
         self._reschedule_ps()
@@ -124,7 +129,7 @@ class CPU:
         and non-preemptive); queued message work is not cancellable
         either, because nothing in the model ever abandons a message.
         """
-        job = self._ps_jobs.pop(id(event), None)
+        job = self._ps_jobs.pop(event, None)
         if job is None or job.cancelled:
             return False
         self._sync()
@@ -200,7 +205,7 @@ class CPU:
             _target, _seq, job = heappop(heap)
             if job.cancelled:
                 continue
-            del ps_jobs[id(job.event)]
+            del ps_jobs[job.event]
             self._ps_active -= 1
             job.event.succeed()
         self._update_busy_stat()

@@ -282,3 +282,56 @@ class TestWaitsForEdges:
                 cohort_of(new_txn()), page(index), LockMode.SHARED
             )
         locks.assert_consistent()
+
+
+class TestDeterministicReleaseOrder:
+    """release_all must fire grant passes in sorted page order.
+
+    The waiters' grant events are scheduled in the order pages are
+    visited; iterating the held-set directly would make wakeup order
+    hash-dependent, which simlint's unordered-set-iteration rule
+    rejects for exactly this spot.
+    """
+
+    def _grant_order(self, env, locks, new_txn, pages):
+        holder = new_txn()
+        for p in pages:
+            locks.acquire(cohort_of(holder), p, LockMode.EXCLUSIVE)
+        waiters = {}
+        for p in pages:
+            txn = new_txn()
+            _, request, _ = locks.acquire(
+                cohort_of(txn), p, LockMode.EXCLUSIVE
+            )
+            waiters[p] = request.event
+        order = []
+
+        def watch(p, event):
+            yield event
+            order.append(p)
+
+        for p, event in waiters.items():
+            env.process(watch(p, event))
+        env.run()  # let every watcher start and block on its event
+        locks.release_all(holder)
+        env.run()
+        return order
+
+    def test_grants_fire_in_sorted_page_order(self, env, locks,
+                                              new_txn):
+        pages = [page(index) for index in (7, 2, 9, 4, 0, 5)]
+        order = self._grant_order(env, locks, new_txn, pages)
+        assert order == sorted(pages)
+
+    def test_order_independent_of_acquisition_order(self, env,
+                                                    new_txn):
+        first = LockManager(env, upgrades_jump_queue=True)
+        pages = [page(index) for index in (3, 1, 8)]
+        assert self._grant_order(
+            env, first, new_txn, pages
+        ) == self._grant_order(
+            env,
+            LockManager(env, upgrades_jump_queue=True),
+            new_txn,
+            list(reversed(pages)),
+        )

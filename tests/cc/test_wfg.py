@@ -17,6 +17,7 @@ class FakeTxn:
     def __init__(self, stamp):
         self.startup_timestamp = (float(stamp), stamp)
         self.stamp = stamp
+        self.tid = stamp
 
     def __repr__(self):
         return f"T{self.stamp}"
@@ -73,6 +74,18 @@ class TestYoungest:
     def test_single_member(self):
         (a,) = txns(1)
         assert youngest([a]) is a
+
+    def test_equal_timestamps_break_on_tid(self):
+        """Unstamped members all compare as (0.0, 0): the victim must
+        be chosen by transaction id, not by iteration order."""
+        a, b, c = txns(3)
+        for member in (a, b, c):
+            member.startup_timestamp = None
+        a.tid, b.tid, c.tid = 10, 30, 20
+        # Same set in any member order: always the highest tid.
+        assert youngest([a, b, c]) is b
+        assert youngest([c, b, a]) is b
+        assert youngest([b, a, c]) is b
 
 
 class TestBreakAllDeadlocks:

@@ -1,0 +1,130 @@
+"""CLI tests: exit codes, formats, rule selection, cache flags."""
+
+import json
+
+import pytest
+
+from repro.lint.cli import main
+
+CLEAN = "def fine():\n    return 1\n"
+DIRTY = "jobs[id(event)] = job\n"
+SUPPRESSED = (
+    "jobs[id(event)] = job  # simlint: ignore[id-keyed-container]\n"
+)
+
+RULE_IDS = [
+    "float-time-equality",
+    "id-keyed-container",
+    "process-protocol",
+    "unordered-set-iteration",
+    "unseeded-global-random",
+    "wall-clock",
+]
+
+
+@pytest.fixture
+def tree(tmp_path):
+    def build(files):
+        root = tmp_path / "tree"
+        for relative, source in files.items():
+            path = root / relative
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source)
+        return root
+
+    return build
+
+
+def run_cli(args):
+    return main([str(a) for a in args])
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tree, capsys):
+        root = tree({"a.py": CLEAN})
+        assert run_cli([root, "--no-cache"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violation_exits_one(self, tree, capsys):
+        root = tree({"bad.py": DIRTY})
+        assert run_cli([root, "--no-cache"]) == 1
+        out = capsys.readouterr().out
+        assert "id-keyed-container" in out
+        assert "bad.py:1:" in out
+
+    def test_suppressed_tree_exits_zero(self, tree, capsys):
+        root = tree({"a.py": SUPPRESSED})
+        assert run_cli([root, "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "1 suppressed" in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert run_cli([tmp_path / "nope", "--no-cache"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, tree, capsys):
+        root = tree({"a.py": CLEAN})
+        code = run_cli(
+            [root, "--no-cache", "--select", "no-such-rule"]
+        )
+        assert code == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+
+class TestJsonFormat:
+    def test_json_payload(self, tree, capsys):
+        root = tree({"bad.py": DIRTY, "ok.py": SUPPRESSED})
+        code = run_cli([root, "--no-cache", "--format", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["files"] == 2
+        assert payload["summary"]["violations"] == 1
+        assert payload["summary"]["suppressed"] == 1
+        assert payload["summary"]["ok"] is False
+        by_suppressed = {
+            v["suppressed"]: v for v in payload["violations"]
+        }
+        assert by_suppressed[False]["rule_id"] == "id-keyed-container"
+        assert by_suppressed[True]["rule_id"] == "id-keyed-container"
+
+    def test_json_clean(self, tree, capsys):
+        root = tree({"a.py": CLEAN})
+        assert run_cli([root, "--no-cache", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["ok"] is True
+        assert payload["violations"] == []
+
+
+class TestSelection:
+    def test_select_limits_rules(self, tree, capsys):
+        root = tree({"bad.py": DIRTY})
+        code = run_cli(
+            [root, "--no-cache", "--select", "wall-clock"]
+        )
+        assert code == 0  # id-keyed rule not selected
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert run_cli(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULE_IDS:
+            assert rule_id in out
+
+
+class TestCacheFlags:
+    def test_cache_file_roundtrip(self, tree, tmp_path, capsys):
+        root = tree({"a.py": CLEAN, "bad.py": DIRTY})
+        cache_file = tmp_path / "lint-cache.json"
+        first = run_cli([root, "--cache-file", cache_file])
+        assert first == 1
+        assert cache_file.exists()
+        capsys.readouterr()
+
+        second = run_cli([root, "--cache-file", cache_file])
+        assert second == 1
+        assert "[2 cached]" in capsys.readouterr().out
+
+    def test_show_suppressed(self, tree, capsys):
+        root = tree({"a.py": SUPPRESSED})
+        run_cli([root, "--no-cache", "--show-suppressed"])
+        assert "(suppressed)" in capsys.readouterr().out

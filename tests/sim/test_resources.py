@@ -315,3 +315,49 @@ class TestDisk:
         env.run()
         assert disk.reads_served == 1
         assert disk.writes_served == 2
+
+
+class TestPsJobKeying:
+    """Regression tests for the _ps_jobs id()-key migration.
+
+    The table is keyed by the Event object itself (identity hash).
+    Keying by id(event) is the collision-after-GC bug class fixed for
+    Timeout handles in the kernel: CPython recycles ids, so once an
+    event is freed an unrelated object can be allocated at the same
+    address and claim the stale entry.
+    """
+
+    def test_jobs_keyed_by_event_objects(self, env):
+        cpu = CPU(env, mips=1.0)
+        event = cpu.execute(1_000_000)
+        assert list(cpu._ps_jobs) == [event]
+
+    def test_gc_id_reuse_cannot_claim_foreign_entries(self, env):
+        import gc
+
+        cpu = CPU(env, mips=1.0)
+        event = cpu.execute(1_000_000)
+        recycled_id = id(event)
+        env.run()  # completes the job; its table entry is removed
+        assert cpu._ps_jobs == {}
+        del event
+        gc.collect()
+        # Allocate fresh events; under refcounting, freed memory is
+        # reused aggressively, so one frequently lands on the old id.
+        # None of them may be treated as a tracked job, id match or
+        # not.
+        for _ in range(256):
+            impostor = env.event()
+            assert cpu.cancel(impostor) is False
+            if id(impostor) == recycled_id:
+                break
+        assert cpu._ps_jobs == {}
+
+    def test_cancel_distinguishes_live_jobs_by_identity(self, env):
+        cpu = CPU(env, mips=1.0)
+        tracked = cpu.execute(1_000_000)
+        # A foreign event can never alias a live tracked one.
+        assert cpu.cancel(env.event()) is False
+        assert list(cpu._ps_jobs) == [tracked]
+        assert cpu.cancel(tracked) is True
+        assert cpu._ps_jobs == {}
