@@ -1,0 +1,28 @@
+"""Extension: availability under injected failures — node crashes
+(MTBF/MTTR sweep at 2-way declustering) and message loss (0-5% at
+8-way) across the four distributed CC algorithms.
+
+Regenerated via the experiment registry ("faults"); set
+REPRO_FIDELITY=full for the EXPERIMENTS.md-quality run.
+"""
+
+
+def test_extension_faults(run_experiment, fidelity):
+    figures = run_experiment("faults")
+    (
+        crash_tput, availability, crash_abort, crash_blocked,
+        loss_tput, loss_abort, loss_blocked,
+    ) = figures
+    if fidelity.name == "smoke":
+        return
+    for name, curve in crash_tput.curves.items():
+        # Rarer crashes can only help: the MTBF sweep is ordered
+        # harshest-first, so throughput must improve end to end.
+        assert curve[-1] > curve[0], (name, curve)
+    for name, curve in loss_tput.curves.items():
+        # Message loss is never free at the 5% corner.
+        assert curve[-1] < curve[0], (name, curve)
+    for name, curve in loss_abort.curves.items():
+        # The loss sweep starts at probability 0: no failure-induced
+        # aborts at the armed-but-idle baseline.
+        assert curve[0] == 0.0, (name, curve)

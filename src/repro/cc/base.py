@@ -148,6 +148,15 @@ class NodeCCManager(ABC):
     def register_cohort(self, cohort: Cohort) -> None:
         """Called when a cohort starts executing at this node."""
 
+    def crash_reset(self) -> None:
+        """Discard all volatile CC state after a node crash.
+
+        Fail-stop semantics: lock tables, timestamp tables, and
+        pending certification workspaces do not survive a crash; the
+        fault injector calls this after interrupting every resident
+        cohort.  Stateless managers inherit this no-op.
+        """
+
     def waits_for_edges(
         self,
     ) -> List[Tuple[Transaction, Transaction]]:

@@ -73,6 +73,12 @@ class LockingNodeManager(NodeCCManager):
         """Release locks and drop any queued request (idempotent)."""
         self.locks.release_all(cohort.transaction)
 
+    def crash_reset(self) -> None:
+        """Drop the whole lock table (all residents were interrupted)."""
+        self.locks = LockManager(
+            self.context.env, upgrades_jump_queue=self.upgrades_jump_queue
+        )
+
     def waits_for_edges(
         self,
     ) -> List[Tuple[Transaction, Transaction]]:

@@ -177,6 +177,15 @@ class OptimisticNodeManager(NodeCCManager):
         state.writes = []
         state.certified = False
 
+    def crash_reset(self) -> None:
+        """Drop page timestamps and pending certifications wholesale.
+
+        After recovery the node's rts/wts tables restart from zero —
+        committed data survives (REDO from the log) but the validation
+        history, like a real OCC node's in-memory tables, does not.
+        """
+        self._pages = {}
+
     # ------------------------------------------------------------------
     # Introspection (test support)
     # ------------------------------------------------------------------

@@ -202,6 +202,14 @@ class BtoNodeManager(NodeCCManager):
         state.blocked_pages = []
         state.ignored_writes = []
 
+    def crash_reset(self) -> None:
+        """Drop page timestamps, pending prewrites, and blocked reads.
+
+        Every blocked reader was a resident cohort and has already
+        been interrupted by the injector, so no dangling events remain.
+        """
+        self._pages = {}
+
     def _remove_pending(
         self, record: _PageRecord, txn: Transaction
     ) -> Optional[Timestamp]:

@@ -146,17 +146,39 @@ class TwoPhaseLocking(CCAlgorithm):
             snoop_node = (snoop_node + 1) % num_nodes
 
     def _gather_from(self, env, network, managers, snoop_node, node):
-        """Request + reply message pair collecting one node's edges."""
+        """Request + reply message pair collecting one node's edges.
+
+        Under fault injection either message can be dropped (lossy
+        link, endpoint down); the ``on_drop`` hooks resolve the reply
+        with no edges so the Snoop round always completes — a missed
+        deadlock is re-detected next interval.
+        """
         reply_event = env.event()
 
         def deliver_reply(edges) -> None:
-            reply_event.succeed(edges)
+            if not reply_event.fired:
+                reply_event.succeed(edges)
+
+        def reply_dropped(_payload) -> None:
+            if not reply_event.fired:
+                reply_event.succeed([])
 
         def deliver_request(_payload) -> None:
             # Snapshot the node's edges when the request arrives and
             # ship them back to the Snoop node.
             edges = managers[node].waits_for_edges()
-            network.post(node, snoop_node, deliver_reply, edges)
+            network.post(
+                node,
+                snoop_node,
+                deliver_reply,
+                edges,
+                on_drop=reply_dropped,
+            )
 
-        network.post(snoop_node, node, deliver_request)
+        network.post(
+            snoop_node,
+            node,
+            deliver_request,
+            on_drop=reply_dropped,
+        )
         return reply_event

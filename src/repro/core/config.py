@@ -23,6 +23,8 @@ from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Optional, Sequence
 
+from repro.faults.schedule import FaultConfig
+
 __all__ = [
     "DatabaseConfig",
     "ExecutionPattern",
@@ -254,6 +256,10 @@ class SimulationConfig:
     target_commits: int = 0
     max_duration: float = 3_600.0
     seed: int = 42
+    #: Fault injection (extension; see ``repro.faults``).  ``None``
+    #: keeps the simulator failure-free and bit-identical to the
+    #: verified paper configurations.
+    faults: Optional[FaultConfig] = None
 
     def validate(self) -> None:
         """Validate the whole configuration tree."""
@@ -272,6 +278,8 @@ class SimulationConfig:
         self.resources.validate()
         self.database.validate(self.num_proc_nodes)
         self.workload.validate()
+        if self.faults is not None:
+            self.faults.validate()
 
     def with_(self, **changes) -> "SimulationConfig":
         """Return a copy with top-level fields replaced."""

@@ -49,6 +49,11 @@ class MetricsCollector:
         self.abort_reasons: Dict[str, int] = {}
         self.blocking_times = Tally()
         self.restarts_in_progress = Counter()
+        #: Time spent blocked on a 2PC decision (coordinator resend
+        #: waits and participant blocking detection; fault mode only).
+        self.blocked_2pc_times = Tally()
+        #: Commits recorded while at least one node was down.
+        self.degraded_commits = Counter()
         self._measure_start = 0.0
 
     def record_commit(self, response_time: float) -> None:
@@ -68,6 +73,14 @@ class MetricsCollector:
         """One concurrency control wait ended after ``duration``."""
         self.blocking_times.record(duration)
 
+    def record_blocked_2pc(self, duration: float) -> None:
+        """One blocked-on-2PC span ended after ``duration``."""
+        self.blocked_2pc_times.record(duration)
+
+    def record_degraded_commit(self) -> None:
+        """One commit completed while the machine was degraded."""
+        self.degraded_commits.increment()
+
     def reset(self, now: float) -> None:
         """Discard warmup observations."""
         self.response_times.reset()
@@ -77,6 +90,8 @@ class MetricsCollector:
         self.aborts.reset()
         self.abort_reasons.clear()
         self.blocking_times.reset()
+        self.blocked_2pc_times.reset()
+        self.degraded_commits.reset()
         self._measure_start = now
 
     def throughput(self, now: float) -> float:
@@ -92,6 +107,23 @@ class MetricsCollector:
         if self.commits.count == 0:
             return 0.0
         return self.aborts.count / self.commits.count
+
+    @property
+    def failure_abort_ratio(self) -> float:
+        """Fraction of all aborts caused by injected failures.
+
+        Failure-induced abort reasons carry a ``fault-`` prefix
+        (execution/prepare timeouts); everything else is ordinary
+        data contention.
+        """
+        if self.aborts.count == 0:
+            return 0.0
+        failure_aborts = sum(
+            count
+            for reason, count in self.abort_reasons.items()
+            if reason.startswith("fault-")
+        )
+        return failure_aborts / self.aborts.count
 
 
 @dataclass
@@ -125,6 +157,19 @@ class SimulationResult:
     response_time_p50: float = 0.0
     response_time_p90: float = 0.0
     response_time_p99: float = 0.0
+    #: Availability metrics (extension; all zero without fault
+    #: injection so failure-free cache entries stay loadable).
+    faults_enabled: bool = False
+    node_crashes: int = 0
+    commits_despite_faults: int = 0
+    #: Commit rate over the degraded portion of the window only.
+    availability_throughput: float = 0.0
+    #: Fraction of aborts caused by injected failures.
+    failure_abort_ratio: float = 0.0
+    mean_blocked_2pc_time: float = 0.0
+    blocked_2pc_count: int = 0
+    messages_dropped: int = 0
+    per_node_downtime: List[float] = field(default_factory=list)
 
     def as_dict(self) -> Dict[str, object]:
         """Flat dictionary for tabular reporting."""
@@ -151,6 +196,14 @@ class SimulationResult:
             "disk_util": self.avg_disk_utilization,
             "host_cpu_util": self.host_cpu_utilization,
             "messages": self.messages_sent,
+            "faults": self.faults_enabled,
+            "node_crashes": self.node_crashes,
+            "degraded_commits": self.commits_despite_faults,
+            "availability_tput": self.availability_throughput,
+            "failure_abort_ratio": self.failure_abort_ratio,
+            "blocked_2pc_time": self.mean_blocked_2pc_time,
+            "blocked_2pc_count": self.blocked_2pc_count,
+            "messages_dropped": self.messages_dropped,
         }
 
     def __str__(self) -> str:

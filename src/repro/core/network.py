@@ -17,11 +17,19 @@ two-stage state machine that subscribes to the CPU completion events
 directly.  Earlier versions spawned a kernel :class:`Process` (a full
 generator) per message; with tens of thousands of messages per simulated
 second that allocation showed up at the top of every profile.
+
+Fault injection (``repro.faults``) hooks in through
+:meth:`NetworkManager.attach_faults`: with an injector attached, every
+inter-node message first passes the fault filter (drop when either
+endpoint is down or the loss coin says so, optionally delay), and
+in-flight couriers touching a crashing node are discarded.  Without an
+injector the filter is a single ``is None`` check and the failure-free
+delivery schedule is untouched.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Optional
 
 from repro.sim.kernel import Environment, Waitable
 from repro.sim.resources import CPU
@@ -50,6 +58,7 @@ class _Courier(Waitable):
         "destination",
         "handler",
         "payload",
+        "on_drop",
         "_stage",
         "_alive",
         "_waiting_on",
@@ -62,20 +71,29 @@ class _Courier(Waitable):
         destination: int,
         handler: Callable[[Any], None],
         payload: Any,
+        on_drop: Optional[Callable[[Any], None]] = None,
     ):
         self.net = net
         self.source = source
         self.destination = destination
         self.handler = handler
         self.payload = payload
+        self.on_drop = on_drop
         self._stage = 0
         self._alive = True
         self._waiting_on = None
+        if net._inflight is not None:
+            net._inflight[self] = None
         net.env.schedule_now(self._start)
 
     @property
-    def name(self) -> str:  # only built for crash reports
-        return f"msg-{self.source}->{self.destination}"
+    def name(self) -> str:
+        """Crash-report identity: sending→receiving node and the
+        message class (the handler that would have run on delivery)."""
+        handler = getattr(
+            self.handler, "__qualname__", None
+        ) or repr(self.handler)
+        return f"msg-{self.source}->{self.destination}:{handler}"
 
     def _charge(self, node: int) -> None:
         event = self.net._cpus[node].execute_message(
@@ -85,6 +103,8 @@ class _Courier(Waitable):
         event._subscribe(self)
 
     def _start(self) -> None:
+        if not self._alive:  # killed before the first scheduler step
+            return
         self._charge(self.source)
 
     def _resume(self, _value: Any) -> None:
@@ -94,10 +114,21 @@ class _Courier(Waitable):
             self._charge(self.destination)
             return
         self._alive = False
+        inflight = self.net._inflight
+        if inflight is not None:
+            inflight.pop(self, None)
         try:
             self.handler(self.payload)
         except BaseException as exc:  # noqa: BLE001 - surfaced like a crash
             self.net.env._record_crash(self, exc)
+
+    def kill(self) -> None:
+        """Discard this message mid-flight; it is never delivered."""
+        self._alive = False
+        event = self._waiting_on
+        if event is not None:
+            event._unsubscribe(self)
+            self._waiting_on = None
 
 
 class NetworkManager:
@@ -113,6 +144,17 @@ class NetworkManager:
         self._cpus = cpus
         self.inst_per_msg = inst_per_msg
         self.messages_sent = Counter()
+        self.messages_dropped = Counter()
+        # Fault hooks: None until an injector attaches (failure-free
+        # runs never pay for courier tracking).
+        self._faults = None
+        self._inflight: Optional[Dict[_Courier, None]] = None
+
+    def attach_faults(self, injector) -> None:
+        """Route every message through ``injector``'s fault filter and
+        start tracking in-flight couriers so crashes can discard them."""
+        self._faults = injector
+        self._inflight = {}
 
     def post(
         self,
@@ -120,21 +162,95 @@ class NetworkManager:
         destination: int,
         handler: Callable[[Any], None],
         payload: Any = None,
+        on_drop: Optional[Callable[[Any], None]] = None,
     ) -> None:
         """Send a message; ``handler(payload)`` runs on delivery.
 
         Intra-node hand-offs are free and delivered on the next
         scheduler step (still asynchronous, so callers never reenter).
+
+        ``on_drop(payload)`` runs (asynchronously) instead if fault
+        injection discards the message; without an injector attached
+        messages are never dropped and the hook is inert.
         """
         if source == destination:
             self.env.schedule_now(handler, payload)
             return
+        if self._faults is not None and self._intercept(
+            source, destination, handler, payload, on_drop
+        ):
+            return
+        self._transmit(source, destination, handler, payload, on_drop)
+
+    def _transmit(
+        self,
+        source: int,
+        destination: int,
+        handler: Callable[[Any], None],
+        payload: Any,
+        on_drop: Optional[Callable[[Any], None]] = None,
+    ) -> None:
         self.messages_sent.increment()
         if self.inst_per_msg <= 0.0:
             # No CPU cost: deliver on the next step, preserving order.
             self.env.schedule_now(handler, payload)
             return
-        _Courier(self, source, destination, handler, payload)
+        _Courier(self, source, destination, handler, payload, on_drop)
+
+    # ------------------------------------------------------------------
+    # Fault filter (active only with an injector attached)
+    # ------------------------------------------------------------------
+
+    def _intercept(
+        self, source, destination, handler, payload, on_drop
+    ) -> bool:
+        """Apply the fault filter; True when the message was consumed
+        (dropped, or rescheduled after a wire delay)."""
+        faults = self._faults
+        if faults.node_down(source) or faults.node_down(destination):
+            self._drop(payload, on_drop)
+            return True
+        schedule = faults.schedule
+        if schedule.drop_message():
+            self._drop(payload, on_drop)
+            return True
+        delay = schedule.message_delay()
+        if delay > 0.0:
+            self.env.schedule(
+                delay, self._deliver_delayed,
+                source, destination, handler, payload, on_drop,
+            )
+            return True
+        return False
+
+    def _deliver_delayed(
+        self, source, destination, handler, payload, on_drop
+    ) -> None:
+        # Either endpoint may have crashed while the message sat on
+        # the wire; the loss/delay coins are never re-flipped.
+        faults = self._faults
+        if faults.node_down(source) or faults.node_down(destination):
+            self._drop(payload, on_drop)
+            return
+        self._transmit(source, destination, handler, payload, on_drop)
+
+    def _drop(self, payload, on_drop) -> None:
+        self.messages_dropped.increment()
+        if on_drop is not None:
+            self.env.schedule_now(on_drop, payload)
+
+    def kill_inflight(self, node: int) -> None:
+        """Discard every in-flight courier to or from ``node``."""
+        if not self._inflight:
+            return
+        doomed = [
+            courier for courier in self._inflight
+            if courier.source == node or courier.destination == node
+        ]
+        for courier in doomed:
+            del self._inflight[courier]
+            courier.kill()
+            self._drop(courier.payload, courier.on_drop)
 
     def __repr__(self) -> str:
         return (

@@ -85,6 +85,27 @@ class Simulation:
                 zip(self._proc_resources, self.node_cc_managers)
             )
         ]
+        self.fault_injector = None
+        if config.faults is not None:
+            # Imported lazily: failure-free simulations never touch
+            # the fault subsystem.
+            from repro.faults.injectors import FaultInjector
+            from repro.faults.schedule import FaultSchedule
+
+            schedule = FaultSchedule(
+                config.faults,
+                self.streams,
+                config.num_proc_nodes,
+                horizon=config.warmup + config.max_duration,
+            )
+            self.fault_injector = FaultInjector(
+                self.env,
+                config.faults,
+                schedule,
+                self.network,
+                self.proc_nodes,
+                self.metrics,
+            )
         self.transaction_manager = TransactionManager(
             self.env,
             config,
@@ -97,6 +118,7 @@ class Simulation:
             self.source,
             auditor=auditor,
             tracer=tracer,
+            fault_injector=self.fault_injector,
         )
 
     def _forward_abort(self, transaction, reason, from_node) -> None:
@@ -138,6 +160,8 @@ class Simulation:
         config = self.config
         self.transaction_manager.start()
         self.cc_algorithm.start_global(self)
+        if self.fault_injector is not None:
+            self.fault_injector.start()
         if config.warmup > 0.0:
             self.env.run(until=config.warmup)
             self._reset_statistics()
@@ -152,6 +176,8 @@ class Simulation:
             self.env.run(until=self.env.now + config.duration)
         self._measured_duration = self.env.now - measure_start
         self.env.check_crashes()
+        if self.fault_injector is not None:
+            self.fault_injector.assert_no_leaks()
         return self._build_result()
 
     def _reset_statistics(self) -> None:
@@ -161,6 +187,7 @@ class Simulation:
         for resources in self._proc_resources:
             resources.reset_statistics(now)
         self.network.messages_sent.reset()
+        self.network.messages_dropped.reset()
 
     def _build_result(self) -> SimulationResult:
         now = self.env.now
@@ -178,6 +205,35 @@ class Simulation:
             degree = 1
         else:
             degree = config.database.placement_degree
+        fault_fields = {}
+        faults = self.fault_injector
+        if faults is not None:
+            measure_start = now - self._measured_duration
+            degraded = faults.degraded_time_in_window(
+                measure_start, now
+            )
+            degraded_commits = metrics.degraded_commits.count
+            fault_fields = {
+                "faults_enabled": True,
+                "node_crashes": faults.crashes,
+                "commits_despite_faults": degraded_commits,
+                "availability_throughput": (
+                    degraded_commits / degraded
+                    if degraded > 0.0
+                    else 0.0
+                ),
+                "failure_abort_ratio": metrics.failure_abort_ratio,
+                "mean_blocked_2pc_time": (
+                    metrics.blocked_2pc_times.mean
+                ),
+                "blocked_2pc_count": metrics.blocked_2pc_times.count,
+                "messages_dropped": (
+                    self.network.messages_dropped.count
+                ),
+                "per_node_downtime": faults.downtime_in_window(
+                    measure_start, now
+                ),
+            }
         return SimulationResult(
             label=config.label(),
             cc_algorithm=self.cc_algorithm.name,
@@ -213,6 +269,7 @@ class Simulation:
             per_node_cpu_utilization=cpu_utils,
             per_node_disk_utilization=disk_utils,
             abort_reasons=dict(metrics.abort_reasons),
+            **fault_fields,
         )
 
 

@@ -125,10 +125,12 @@ class Cohort:
         "transaction",
         "spec",
         "index",
+        "attempt",
         "process",
         "load_posted",
         "started",
         "finished_work",
+        "crashed",
         "done_event",
         "vote_event",
         "commit_ack_event",
@@ -142,10 +144,15 @@ class Cohort:
         self.transaction = transaction
         self.spec = spec
         self.index = index
+        #: The transaction attempt this cohort belongs to; fault-mode
+        #: delivery guards drop messages addressed to a stale attempt.
+        self.attempt = transaction.attempt
         self.process: Optional["Process"] = None
         self.load_posted = False
         self.started = False
         self.finished_work = False
+        #: Set when the cohort's node crashed while it was resident.
+        self.crashed = False
         self.done_event: Optional["Event"] = None
         self.vote_event: Optional["Event"] = None
         self.commit_ack_event: Optional["Event"] = None
@@ -190,6 +197,7 @@ class Transaction:
         "abort_pending",
         "abort_reason",
         "num_aborts",
+        "fault_retries",
     )
 
     _tid_sequence = count()
@@ -221,6 +229,9 @@ class Transaction:
         self.abort_pending = False
         self.abort_reason: Optional[str] = None
         self.num_aborts = 0
+        #: Consecutive failure-induced aborts, driving the terminal's
+        #: exponential retry backoff (fault mode only).
+        self.fault_retries = 0
 
     @property
     def parallel(self) -> bool:

@@ -44,7 +44,7 @@ from repro.core.transaction import (
     Transaction,
     TransactionState,
 )
-from repro.core.workload import Source
+from repro.core.workload import RetryBackoff, Source
 from repro.sim.kernel import Environment, Interrupt, Mailbox
 from repro.sim.stats import Tally
 from repro.sim.streams import RandomStreams
@@ -72,6 +72,7 @@ class TransactionManager:
         source: Source,
         auditor=None,
         tracer=None,
+        fault_injector=None,
     ):
         self.env = env
         self.config = config
@@ -98,6 +99,23 @@ class TransactionManager:
         self._inst_per_startup = config.resources.inst_per_startup
         self._inst_per_cc_request = config.inst_per_cc_request
         self._inst_per_update = config.resources.inst_per_update
+        #: Fault injector (``None`` keeps every 2PC wait exactly the
+        #: failure-free protocol; see ``repro.faults``).
+        self.faults = fault_injector
+        if fault_injector is not None:
+            fault_config = fault_injector.config
+            self._execution_timeout = fault_config.execution_timeout
+            self._prepare_timeout = fault_config.prepare_timeout
+            self._decision_timeout = fault_config.decision_timeout
+            self._ack_timeout = fault_config.ack_timeout
+            self._retry_backoff = RetryBackoff(
+                streams.get("fault-retry-backoff"),
+                fault_config.retry_backoff_base,
+                fault_config.retry_backoff_multiplier,
+                fault_config.retry_backoff_cap,
+            )
+        else:
+            self._retry_backoff = None
 
     # ------------------------------------------------------------------
     # Terminals
@@ -169,6 +187,8 @@ class TransactionManager:
             if committed:
                 response = self.env.now - transaction.origination_time
                 self.metrics.record_commit(response)
+                if self.faults is not None and self.faults.degraded:
+                    self.metrics.record_degraded_commit()
                 self._observed_response.record(response)
                 if self.auditor is not None:
                     self.auditor.on_committed(transaction)
@@ -185,7 +205,21 @@ class TransactionManager:
                 transaction,
                 detail=transaction.abort_reason,
             )
-            delay = self._restart_delay()
+            if (
+                self._retry_backoff is not None
+                and transaction.abort_reason is not None
+                and transaction.abort_reason.startswith("fault-")
+            ):
+                # Failure-induced abort: exponential backoff instead
+                # of the observed-response-time restart delay, so a
+                # down node is not hammered by immediate retries.
+                transaction.fault_retries += 1
+                delay = self._retry_backoff.delay(
+                    transaction.fault_retries
+                )
+            else:
+                transaction.fault_retries = 0
+                delay = self._restart_delay()
             self._trace(
                 EventKind.RESTART_SCHEDULED, transaction, detail=delay
             )
@@ -220,13 +254,27 @@ class TransactionManager:
             all_done = env.all_of(
                 [cohort.done_event for cohort in cohorts]
             )
-            yield env.any_of([all_done, transaction.abort_event])
+            if self.faults is None:
+                yield env.any_of([all_done, transaction.abort_event])
+            else:
+                yield from self._await_with_timeout(
+                    transaction, all_done, self._execution_timeout,
+                    "fault-execution-timeout", record_blocked=False,
+                )
         else:
             for cohort in cohorts:
                 self._post_load(cohort)
-                yield env.any_of(
-                    [cohort.done_event, transaction.abort_event]
-                )
+                if self.faults is None:
+                    yield env.any_of(
+                        [cohort.done_event, transaction.abort_event]
+                    )
+                else:
+                    yield from self._await_with_timeout(
+                        transaction, cohort.done_event,
+                        self._execution_timeout,
+                        "fault-execution-timeout",
+                        record_blocked=False,
+                    )
                 if transaction.abort_pending:
                     break
         if transaction.abort_pending:
@@ -246,7 +294,15 @@ class TransactionManager:
         all_votes = env.all_of(
             [cohort.vote_event for cohort in cohorts]
         )
-        yield env.any_of([all_votes, transaction.abort_event])
+        if self.faults is None:
+            yield env.any_of([all_votes, transaction.abort_event])
+        else:
+            # Presumed abort: a vote lost to the network or a crashed
+            # participant resolves to abort after prepare_timeout.
+            yield from self._await_with_timeout(
+                transaction, all_votes, self._prepare_timeout,
+                "fault-prepare-timeout", record_blocked=True,
+            )
         if transaction.abort_pending:
             yield from self._abort_protocol(transaction)
             return False
@@ -261,11 +317,75 @@ class TransactionManager:
         transaction.state = TransactionState.COMMITTING
         for cohort in cohorts:
             self._post_control(cohort, _COMMIT)
-        yield env.all_of(
-            [cohort.commit_ack_event for cohort in cohorts]
-        )
+        if self.faults is None:
+            yield env.all_of(
+                [cohort.commit_ack_event for cohort in cohorts]
+            )
+        else:
+            yield from self._drive_decision(cohorts, commit=True)
         transaction.state = TransactionState.COMMITTED
         return True
+
+    # ------------------------------------------------------------------
+    # Fault-mode coordinator waits (never entered failure-free)
+    # ------------------------------------------------------------------
+
+    def _await_with_timeout(
+        self, transaction, target, timeout, reason, record_blocked
+    ):
+        """Wait for ``target`` or the abort event, presuming abort when
+        neither fires within ``timeout`` (lost message, crashed node).
+        """
+        env = self.env
+        started = env.now
+        index, _value = yield env.any_of(
+            [target, transaction.abort_event, env.timeout(timeout)]
+        )
+        if index == 2 and not transaction.abort_pending:
+            if record_blocked:
+                self.metrics.record_blocked_2pc(env.now - started)
+            transaction.mark_abort(reason)
+
+    def _drive_decision(self, cohorts, commit):
+        """Resend the final phase-two decision until every cohort acks.
+
+        The decision is irrevocable, so the coordinator never gives
+        up: each ``ack_timeout`` expiry re-posts the decision to the
+        still-silent cohorts (their node may be down; the message is
+        dropped and retried until recovery).  Terminates because every
+        outage ends and resident crash state converts resends into
+        recovery acknowledgements.
+        """
+        env = self.env
+
+        def _ack(cohort):
+            if commit:
+                return cohort.commit_ack_event
+            return cohort.abort_ack_event
+
+        pending = [c for c in cohorts if not _ack(c).fired]
+        started = env.now
+        waited = False
+        while pending:
+            index, _value = yield env.any_of([
+                env.all_of([_ack(c) for c in pending]),
+                env.timeout(self._ack_timeout),
+            ])
+            if index == 0:
+                break
+            waited = True
+            pending = [c for c in pending if not _ack(c).fired]
+            for cohort in pending:
+                if commit:
+                    self._post_control(cohort, _COMMIT)
+                else:
+                    self.network.post(
+                        HOST_NODE, cohort.node,
+                        self._deliver_abort, cohort,
+                    )
+        if waited:
+            # One span per stalled decision, not per resend round.
+            self.metrics.record_blocked_2pc(env.now - started)
 
     # ------------------------------------------------------------------
     # Messages from coordinator to cohorts
@@ -283,6 +403,10 @@ class TransactionManager:
 
     def _deliver_load(self, cohort: Cohort) -> None:
         transaction = cohort.transaction
+        if cohort.attempt != transaction.attempt:
+            # Delayed past a restart (fault mode): a stale cohort must
+            # not start and leak locks into the new attempt.
+            return
         if transaction.abort_pending:
             # An abort raced ahead; the pending ABORT message (queued
             # behind this one) will clean up and acknowledge.
@@ -299,6 +423,8 @@ class TransactionManager:
                 f"@{cohort.node}"
             ),
         )
+        if self.faults is not None:
+            self.faults.register_resident(cohort)
 
     def _post_control(self, cohort: Cohort, verb: str) -> None:
         self.network.post(
@@ -310,6 +436,21 @@ class TransactionManager:
         self, payload: Tuple[Cohort, str]
     ) -> None:
         cohort, verb = payload
+        if cohort.attempt != cohort.transaction.attempt:
+            return  # stale: delayed past a restart (fault mode)
+        if (
+            verb == _COMMIT
+            and cohort.crashed
+            and not cohort.commit_ack_event.fired
+        ):
+            # The node crashed after this cohort voted yes; the commit
+            # decision is final, so the recovery manager REDOes from
+            # the log and acknowledges on the cohort's behalf.
+            self.network.post(
+                cohort.node, HOST_NODE, self._deliver_commit_ack,
+                cohort,
+            )
+            return
         if cohort.mailbox is not None:
             cohort.mailbox.put(verb)
 
@@ -317,18 +458,25 @@ class TransactionManager:
     # Messages from cohorts to coordinator
     # ------------------------------------------------------------------
 
+    # The ``fired`` guards below make delivery idempotent: fault-mode
+    # resends and recovery acknowledgements can produce duplicates.
+    # Failure-free runs deliver each exactly once.
+
     @staticmethod
     def _deliver_done(cohort: Cohort) -> None:
-        cohort.done_event.succeed()
+        if not cohort.done_event.fired:
+            cohort.done_event.succeed()
 
     @staticmethod
     def _deliver_vote(payload: Tuple[Cohort, bool]) -> None:
         cohort, vote = payload
-        cohort.vote_event.succeed(vote)
+        if not cohort.vote_event.fired:
+            cohort.vote_event.succeed(vote)
 
     @staticmethod
     def _deliver_commit_ack(cohort: Cohort) -> None:
-        cohort.commit_ack_event.succeed()
+        if not cohort.commit_ack_event.fired:
+            cohort.commit_ack_event.succeed()
 
     # ------------------------------------------------------------------
     # Abort path
@@ -382,12 +530,19 @@ class TransactionManager:
                 HOST_NODE, cohort.node, self._deliver_abort, cohort
             )
         if posted:
-            yield self.env.all_of(
-                [cohort.abort_ack_event for cohort in posted]
-            )
+            if self.faults is None:
+                yield self.env.all_of(
+                    [cohort.abort_ack_event for cohort in posted]
+                )
+            else:
+                yield from self._drive_decision(posted, commit=False)
         transaction.state = TransactionState.ABORTED
 
     def _deliver_abort(self, cohort: Cohort) -> None:
+        if cohort.attempt != cohort.transaction.attempt:
+            # Stale (fault mode): the transaction already restarted and
+            # the new attempt owns any locks under this transaction.
+            return
         if cohort.process is not None and cohort.process.alive:
             cohort.process.interrupt("abort")
         manager = self._cc_manager(cohort.node)
@@ -398,7 +553,8 @@ class TransactionManager:
 
     @staticmethod
     def _deliver_abort_ack(cohort: Cohort) -> None:
-        cohort.abort_ack_event.succeed()
+        if not cohort.abort_ack_event.fired:
+            cohort.abort_ack_event.succeed()
 
     # ------------------------------------------------------------------
     # Cohorts
@@ -471,6 +627,11 @@ class TransactionManager:
                 cohort.node, HOST_NODE, self._deliver_done, cohort
             )
             # ----- two-phase commit, participant side -----
+            # The PREPARE wait needs no monitoring even in fault mode:
+            # until it votes the cohort is recoverable (a lost PREPARE
+            # ends in the coordinator's prepare-timeout abort, whose
+            # message interrupts this process), and most of the wait is
+            # sibling cohorts still executing — not 2PC blocking.
             verb = yield cohort.mailbox.get()
             assert verb == _PREPARE, f"unexpected control {verb!r}"
             vote = manager.prepare(cohort)
@@ -482,7 +643,14 @@ class TransactionManager:
                 cohort.node, HOST_NODE, self._deliver_vote,
                 (cohort, vote),
             )
-            verb = yield cohort.mailbox.get()
+            # Having voted yes, the cohort is in the 2PC window of
+            # vulnerability: it cannot unilaterally decide, so a lost
+            # decision leaves it genuinely blocked (until a resend
+            # lands) — the span the availability metrics report.
+            if self.faults is None:
+                verb = yield cohort.mailbox.get()
+            else:
+                verb = yield from self._monitored_get(cohort)
             assert verb == _COMMIT, f"unexpected control {verb!r}"
             installed = manager.commit(cohort)
             if self.auditor is not None:
@@ -493,9 +661,36 @@ class TransactionManager:
                 cohort,
             )
         except Interrupt:
-            # Aborted by the coordinator: CC cleanup happened (or will
-            # happen) when the abort message was delivered.
+            # Aborted by the coordinator (or the node crashed): CC
+            # cleanup happened — or will — via the abort message or
+            # the crash reset.
             return
+        finally:
+            if self.faults is not None:
+                self.faults.forget_resident(cohort)
+
+    def _monitored_get(self, cohort: Cohort):
+        """Mailbox get with participant-side blocking detection.
+
+        A participant that voted yes cannot unilaterally abort; when
+        the decision message is lost it sits blocked on 2PC.  Each
+        ``decision_timeout`` expiry re-arms the wait, and the total
+        blocked span is recorded once delivery (or an interrupt) ends
+        it.  Fault mode only.
+        """
+        env = self.env
+        get_event = cohort.mailbox.get()
+        started = env.now
+        waited = False
+        while True:
+            index, value = yield env.any_of(
+                [get_event, env.timeout(self._decision_timeout)]
+            )
+            if index == 0:
+                if waited:
+                    self.metrics.record_blocked_2pc(env.now - started)
+                return value
+            waited = True
 
     def _write_back(
         self, resources, pages: List[PageId]

@@ -25,7 +25,35 @@ from repro.core.database import Database, PageId
 from repro.core.transaction import AccessSpec, CohortSpec, PageAccess
 from repro.sim.streams import RandomStreams
 
-__all__ = ["Source"]
+__all__ = ["RetryBackoff", "Source"]
+
+
+class RetryBackoff:
+    """Terminal-level exponential backoff for failure-induced aborts.
+
+    When a transaction dies to an injected failure (a ``fault-``
+    prefixed abort reason) the terminal retries after a jittered
+    exponential delay whose mean doubles — by ``multiplier`` — with
+    each consecutive failure, capped at ``cap``.  The jitter is drawn
+    from the dedicated ``fault-retry-backoff`` stream, so backoff
+    never perturbs the failure-free draw sequences.  Constructed only
+    when fault injection is active.
+    """
+
+    def __init__(self, stream, base: float, multiplier: float,
+                 cap: float):
+        self._draw = stream.expovariate
+        self.base = base
+        self.multiplier = multiplier
+        self.cap = cap
+
+    def delay(self, consecutive_failures: int) -> float:
+        """Jittered delay after the N-th consecutive failure abort."""
+        exponent = max(0, consecutive_failures - 1)
+        mean = min(self.cap, self.base * self.multiplier ** exponent)
+        if mean <= 0.0:
+            return 0.0
+        return self._draw(1.0 / mean)
 
 
 class Source:

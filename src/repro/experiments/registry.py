@@ -6,8 +6,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 from repro.analysis.series import FigureSeries
-from repro.experiments import ablations, overheads, partitioning, \
-    replication, scaling, sensitivity
+from repro.experiments import ablations, faults, overheads, \
+    partitioning, replication, scaling, sensitivity
 from repro.experiments.fidelity import Fidelity
 
 __all__ = ["EXPERIMENTS", "Experiment", "get_experiment"]
@@ -145,6 +145,12 @@ _DEFINITIONS = [
         "replication",
         "Extension: replicated data x message cost (footnote 13)",
         replication.replication_experiment,
+    ),
+    Experiment(
+        "faults",
+        "Extension: availability under node crashes and message "
+        "loss",
+        faults.faults_experiment,
     ),
 ]
 

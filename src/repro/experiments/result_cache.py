@@ -67,9 +67,14 @@ def default_cache_dir() -> Path:
 def _jsonable(value: Any) -> Any:
     """Canonical JSON-ready rendering of a config value tree."""
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        # None-valued fields are omitted: an absent optional subsystem
+        # (e.g. ``faults=None``) must hash identically whether the
+        # field predates the subsystem or not, so adding such a field
+        # never invalidates existing failure-free cache entries.
         return {
-            field.name: _jsonable(getattr(value, field.name))
+            field.name: _jsonable(item)
             for field in dataclasses.fields(value)
+            if (item := getattr(value, field.name)) is not None
         }
     if isinstance(value, Enum):
         return value.value

@@ -1,0 +1,26 @@
+"""Deterministic fault injection for the distributed database machine.
+
+The paper's model is failure-free: the network never drops a message,
+nodes never crash, and two-phase commit always completes (PAPER.md §3).
+This package adds the missing robustness dimension without perturbing
+the verified failure-free results:
+
+* :mod:`repro.faults.schedule` — fault *timelines* (node crash/recover
+  events, message loss and delay decisions) drawn from dedicated
+  ``fault-*`` named streams of :class:`repro.sim.streams.RandomStreams`
+  or declared explicitly, so any faulty run is exactly reproducible
+  and cacheable like a failure-free one.
+* :mod:`repro.faults.injectors` — the runtime hooks that apply a
+  schedule to a live simulation: crashing a node interrupts every
+  resident cohort process, wipes the node's volatile CC state and
+  discards in-flight messages; recovery brings the node back after
+  the scheduled repair time.
+
+With ``SimulationConfig.faults`` left at ``None`` nothing in here is
+ever imported by the hot path and every simulation stays bit-identical
+to the failure-free simulator.
+"""
+
+from repro.faults.schedule import FaultConfig, FaultEvent, FaultSchedule
+
+__all__ = ["FaultConfig", "FaultEvent", "FaultSchedule"]

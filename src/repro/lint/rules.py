@@ -30,6 +30,14 @@ hit) while keeping figure replications seed-stable:
     that is obviously not a :class:`~repro.sim.kernel.Waitable`
     (a bare ``yield``, a literal) or calling ``env.run()`` reentrantly
     from inside a process.
+``fault-stream-misuse``
+    The fault subsystem's no-perturbation guarantee rests on drawing
+    exclusively from dedicated ``fault-*`` random streams: a fault
+    module that touches a shared stream (``page-choice``,
+    ``restart-delay``, ...) silently changes every failure-free draw
+    sequence after it and breaks the bit-identical-without-faults
+    property.  Flags stream draws inside ``repro/faults/`` whose
+    stream name does not start with ``fault-``.
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ from repro.lint.registry import Rule, register
 from repro.lint.violations import Violation
 
 __all__ = [
+    "FaultStreamMisuseRule",
     "FloatTimeEqualityRule",
     "IdKeyedContainerRule",
     "ProcessProtocolRule",
@@ -560,3 +569,74 @@ class ProcessProtocolRule(Rule):
                 continue
             yield node
             stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class FaultStreamMisuseRule(Rule):
+    """Fault-subsystem draws from non-``fault-`` random streams."""
+
+    rule_id = "fault-stream-misuse"
+    summary = (
+        "fault code must draw only from dedicated fault-* streams: a "
+        "draw from a shared stream perturbs every failure-free "
+        "sequence after it and breaks bit-identical no-fault runs"
+    )
+    version = 1
+    include = ("repro/faults/",)
+
+    #: RandomStreams methods whose first argument is a stream name.
+    _STREAM_METHODS = frozenset(
+        {
+            "bernoulli",
+            "exponential",
+            "get",
+            "sample_without_replacement",
+            "uniform",
+            "uniform_int",
+        }
+    )
+
+    def check(self, tree, source, path):
+        violations: List[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in self._STREAM_METHODS
+                and self._is_streams_ref(func.value)
+            ):
+                continue
+            if node.args and self._is_fault_stream_name(
+                node.args[0]
+            ):
+                continue
+            violations.append(self.violation(path, node))
+        return violations
+
+    @staticmethod
+    def _is_streams_ref(node: ast.AST) -> bool:
+        # ``streams.get(...)`` / ``self.streams.get(...)`` /
+        # ``self._streams.bernoulli(...)``.
+        if isinstance(node, ast.Name):
+            return "streams" in node.id
+        if isinstance(node, ast.Attribute):
+            return "streams" in node.attr
+        return False
+
+    @staticmethod
+    def _is_fault_stream_name(node: ast.AST) -> bool:
+        """Whether the stream-name argument provably starts "fault-"."""
+        if isinstance(node, ast.Constant):
+            return isinstance(
+                node.value, str
+            ) and node.value.startswith("fault-")
+        if isinstance(node, ast.JoinedStr) and node.values:
+            head = node.values[0]
+            return (
+                isinstance(head, ast.Constant)
+                and isinstance(head.value, str)
+                and head.value.startswith("fault-")
+            )
+        return False

@@ -1,0 +1,274 @@
+"""Fault schedule unit tests: determinism, merging, validation.
+
+A :class:`FaultSchedule` must be a pure function of (config, seed):
+the same inputs materialise the identical crash/recover timeline, and
+every stochastic decision comes from a dedicated ``fault-*`` stream so
+the workload draw sequences are untouched by fault injection.
+"""
+
+import pytest
+
+from repro.faults.schedule import (
+    CRASH,
+    RECOVER,
+    FaultConfig,
+    FaultEvent,
+    FaultSchedule,
+)
+from repro.sim.streams import RandomStreams
+
+
+def make_schedule(config, seed=11, nodes=4, horizon=50.0):
+    return FaultSchedule(config, RandomStreams(seed), nodes, horizon)
+
+
+class TestMaterialisation:
+    def test_same_config_and_seed_same_timeline(self):
+        config = FaultConfig(node_mtbf=5.0, node_mttr=1.0)
+        first = make_schedule(config)
+        second = make_schedule(config)
+        assert first.events == second.events
+        assert first.events  # non-degenerate: something was drawn
+
+    def test_different_seeds_differ(self):
+        config = FaultConfig(node_mtbf=5.0, node_mttr=1.0)
+        assert (
+            make_schedule(config, seed=1).events
+            != make_schedule(config, seed=2).events
+        )
+
+    def test_per_node_events_alternate_crash_recover(self):
+        config = FaultConfig(node_mtbf=3.0, node_mttr=0.5)
+        schedule = make_schedule(config, nodes=3, horizon=100.0)
+        for node in range(3):
+            kinds = [
+                event.kind for event in schedule.events
+                if event.node == node
+            ]
+            expected = [CRASH, RECOVER] * len(kinds)
+            assert kinds == expected[: len(kinds)]
+
+    def test_all_events_inside_horizon(self):
+        config = FaultConfig(node_mtbf=2.0, node_mttr=0.5)
+        schedule = make_schedule(config, horizon=20.0)
+        assert all(event.time < 20.0 for event in schedule.events)
+
+    def test_crashable_nodes_restricts_targets(self):
+        config = FaultConfig(
+            node_mtbf=1.0, node_mttr=0.2, crashable_nodes=(2,)
+        )
+        schedule = make_schedule(config, nodes=4, horizon=100.0)
+        assert schedule.events
+        assert {event.node for event in schedule.events} == {2}
+
+    def test_crashable_nodes_beyond_machine_ignored(self):
+        config = FaultConfig(
+            node_mtbf=1.0, node_mttr=0.2, crashable_nodes=(1, 99)
+        )
+        schedule = make_schedule(config, nodes=2, horizon=100.0)
+        assert {event.node for event in schedule.events} == {1}
+
+
+class TestExplicitEvents:
+    def test_explicit_events_sorted_with_drawn(self):
+        config = FaultConfig(
+            events=(
+                FaultEvent(4.0, RECOVER, 1),
+                FaultEvent(2.0, CRASH, 1),
+                FaultEvent(3.0, CRASH, 0),
+            )
+        )
+        schedule = make_schedule(config)
+        assert schedule.events == [
+            FaultEvent(2.0, CRASH, 1),
+            FaultEvent(3.0, CRASH, 0),
+            FaultEvent(4.0, RECOVER, 1),
+        ]
+
+    def test_recover_sorts_before_crash_at_equal_time(self):
+        """A zero-length outage must be a no-op, not a stuck-down
+        node, so RECOVER wins the tie."""
+        config = FaultConfig(
+            events=(
+                FaultEvent(5.0, CRASH, 0),
+                FaultEvent(5.0, RECOVER, 0),
+            )
+        )
+        schedule = make_schedule(config)
+        assert [event.kind for event in schedule.events] == [
+            RECOVER, CRASH,
+        ]
+
+    def test_node_breaks_remaining_ties(self):
+        config = FaultConfig(
+            events=(
+                FaultEvent(5.0, CRASH, 2),
+                FaultEvent(5.0, CRASH, 0),
+            )
+        )
+        schedule = make_schedule(config)
+        assert [event.node for event in schedule.events] == [0, 2]
+
+    def test_events_at_or_past_horizon_dropped(self):
+        config = FaultConfig(
+            events=(
+                FaultEvent(49.0, CRASH, 0),
+                FaultEvent(50.0, CRASH, 1),
+                FaultEvent(60.0, CRASH, 2),
+            )
+        )
+        schedule = make_schedule(config, horizon=50.0)
+        assert [event.node for event in schedule.events] == [0]
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"node_mtbf": -1.0},
+            {"node_mtbf": 5.0},  # mttr missing
+            {"node_mtbf": 5.0, "node_mttr": 0.0},
+            {"message_loss_probability": -0.1},
+            {"message_loss_probability": 1.5},
+            {"message_delay_probability": 2.0},
+            {"message_delay_probability": 0.5},  # delay mean missing
+            {"execution_timeout": 0.0},
+            {"prepare_timeout": -1.0},
+            {"decision_timeout": 0.0},
+            {"ack_timeout": 0.0},
+            {"retry_backoff_base": -0.5},
+            {"retry_backoff_multiplier": 0.5},
+            {"retry_backoff_base": 4.0, "retry_backoff_cap": 1.0},
+            {"crashable_nodes": (0, -1)},
+            {"events": (FaultEvent(1.0, "explode", 0),)},
+            {"events": (FaultEvent(-1.0, CRASH, 0),)},
+            {"events": (FaultEvent(1.0, CRASH, -1),)},
+        ],
+    )
+    def test_rejects_unusable_configs(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultConfig(**kwargs).validate()
+
+    def test_default_config_is_valid_and_inert(self):
+        config = FaultConfig()
+        config.validate()
+        schedule = make_schedule(config)
+        assert schedule.events == []
+
+    def test_faulty_configs_are_hashable(self):
+        """Sweepable and result-cacheable: frozen dataclasses."""
+        config = FaultConfig(
+            node_mtbf=5.0,
+            node_mttr=1.0,
+            events=(FaultEvent(1.0, CRASH, 0),),
+        )
+        assert hash(config) == hash(
+            FaultConfig(
+                node_mtbf=5.0,
+                node_mttr=1.0,
+                events=(FaultEvent(1.0, CRASH, 0),),
+            )
+        )
+
+
+class TestStreamIsolation:
+    """Fault draws must come only from ``fault-*`` streams so they
+    never perturb workload or CC sequences (common random numbers)."""
+
+    def test_only_fault_streams_are_touched(self):
+        streams = RandomStreams(seed=3)
+        schedule = FaultSchedule(
+            FaultConfig(
+                node_mtbf=2.0,
+                node_mttr=0.5,
+                message_loss_probability=0.5,
+                message_delay_probability=0.5,
+                mean_message_delay=0.1,
+            ),
+            streams,
+            4,
+            horizon=40.0,
+        )
+        schedule.drop_message()
+        schedule.message_delay()
+        assert streams._streams  # something was drawn
+        assert all(
+            name.startswith("fault-") for name in streams._streams
+        )
+
+    def test_workload_streams_unperturbed_by_fault_draws(self):
+        quiet = RandomStreams(seed=9)
+        noisy = RandomStreams(seed=9)
+        schedule = FaultSchedule(
+            FaultConfig(
+                node_mtbf=1.0,
+                node_mttr=0.2,
+                message_loss_probability=0.3,
+            ),
+            noisy,
+            8,
+            horizon=100.0,
+        )
+        for _ in range(50):
+            schedule.drop_message()
+        draws = [
+            (
+                quiet.exponential("think-time", 1.0),
+                noisy.exponential("think-time", 1.0),
+            )
+            for _ in range(20)
+        ]
+        assert all(a == b for a, b in draws)
+
+    def test_degenerate_probabilities_consume_no_draws(self):
+        streams = RandomStreams(seed=4)
+        schedule = FaultSchedule(
+            FaultConfig(), streams, 4, horizon=10.0
+        )
+        assert schedule.drop_message() is False
+        assert schedule.message_delay() == 0.0
+        assert streams._streams == {}
+
+
+class TestMessageDecisions:
+    def test_certain_loss_always_drops(self):
+        streams = RandomStreams(seed=6)
+        schedule = FaultSchedule(
+            FaultConfig(message_loss_probability=1.0),
+            streams,
+            2,
+            horizon=10.0,
+        )
+        assert all(schedule.drop_message() for _ in range(10))
+
+    def test_delay_draws_positive_times(self):
+        schedule = FaultSchedule(
+            FaultConfig(
+                message_delay_probability=1.0,
+                mean_message_delay=0.05,
+            ),
+            RandomStreams(seed=8),
+            2,
+            horizon=10.0,
+        )
+        delays = [schedule.message_delay() for _ in range(10)]
+        assert all(delay > 0.0 for delay in delays)
+
+    def test_message_decisions_reproducible(self):
+        config = FaultConfig(
+            message_loss_probability=0.4,
+            message_delay_probability=0.3,
+            mean_message_delay=0.1,
+        )
+        first = FaultSchedule(
+            config, RandomStreams(seed=12), 2, horizon=10.0
+        )
+        second = FaultSchedule(
+            config, RandomStreams(seed=12), 2, horizon=10.0
+        )
+        assert [first.drop_message() for _ in range(30)] == [
+            second.drop_message() for _ in range(30)
+        ]
+        assert [first.message_delay() for _ in range(30)] == [
+            second.message_delay() for _ in range(30)
+        ]

@@ -1,0 +1,52 @@
+"""Regenerate the failure-free figure goldens.
+
+Run from the repo root after a *deliberate* behaviour change to the
+failure-free simulator (and only then — the whole point of the golden
+is to catch accidental perturbations)::
+
+    PYTHONPATH=src python tests/integration/regenerate_goldens.py
+"""
+
+import json
+from pathlib import Path
+
+from repro.experiments.fidelity import Fidelity
+from repro.experiments.partitioning import figure10
+from repro.experiments.scaling import figure2
+
+GOLDEN_PATH = (
+    Path(__file__).parent / "goldens" / "fig2_fig10_smoke.json"
+)
+
+
+def series_payload(series_list):
+    return [
+        {
+            "title": series.title,
+            "x_values": list(series.x_values),
+            "curves": {
+                name: list(values)
+                for name, values in series.curves.items()
+            },
+        }
+        for series in series_list
+    ]
+
+
+def main() -> None:
+    fidelity = Fidelity.smoke()
+    payload = {
+        "fig2": series_payload(figure2(fidelity)),
+        "fig10": series_payload(figure10(fidelity)),
+    }
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    with GOLDEN_PATH.open("w") as handle:
+        json.dump(payload, handle, sort_keys=True, indent=1)
+        handle.write("\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()
+
+

@@ -22,6 +22,7 @@ from repro.experiments.executor import (
     SweepExecutionError,
     SweepExecutor,
 )
+from repro.faults.schedule import FaultConfig
 
 ALGORITHMS = ("2pl", "ww", "bto", "opt", "no_dc", "wd", "ir")
 
@@ -74,6 +75,48 @@ class TestDeterminism:
             for algorithm in ("2pl", "bto", "opt", "no_dc")
         }
         assert len(set(counts.values())) == 1, counts
+
+
+def faulty_tiny_config(algorithm, seed=7):
+    """A tiny run with real crashes, repairs, and message loss."""
+    return tiny_config(algorithm, seed=seed).with_(
+        faults=FaultConfig(
+            node_mtbf=2.0,
+            node_mttr=0.3,
+            message_loss_probability=0.02,
+            execution_timeout=3.0,
+            prepare_timeout=0.5,
+            decision_timeout=0.5,
+            ack_timeout=0.5,
+        )
+    )
+
+
+class TestFaultDeterminism:
+    """Fault injection must preserve the pure-function property: a
+    faulty run is just as replayable as a failure-free one."""
+
+    @pytest.mark.parametrize("algorithm", ("2pl", "opt"))
+    def test_faulty_same_seed_pair_bit_identical(self, algorithm):
+        first = run_simulation(faulty_tiny_config(algorithm))
+        second = run_simulation(faulty_tiny_config(algorithm))
+        assert first.node_crashes > 0  # faults actually fired
+        assert first.as_dict() == second.as_dict()
+        assert first.per_node_downtime == second.per_node_downtime
+
+    def test_faulty_fastlane_toggle_bit_identical(self, monkeypatch):
+        """The kernel's same-time fast lane must not reorder fault
+        callbacks relative to simulation callbacks."""
+        config = faulty_tiny_config("ww")
+        monkeypatch.setenv("REPRO_KERNEL_FASTLANE", "1")
+        with_lane = run_simulation(config)
+        monkeypatch.setenv("REPRO_KERNEL_FASTLANE", "0")
+        without_lane = run_simulation(config)
+        assert with_lane.as_dict() == without_lane.as_dict()
+        assert (
+            with_lane.per_node_downtime
+            == without_lane.per_node_downtime
+        )
 
 
 class TestParallelDeterminism:

@@ -1,0 +1,59 @@
+"""Failure-free figures are frozen: fig2/fig10 vs committed goldens.
+
+The fault-injection machinery must be perfectly inert when no
+``FaultSchedule`` is attached: every hardening hook gates on
+``faults is None`` and falls back to the exact original code path.
+These tests pin the smoke-fidelity Figure 2 and Figure 10 sweeps to
+goldens captured from the verified tree, bit-identical floats
+included — any perturbation of the failure-free simulation (a stray
+random draw, an extra kernel event, a reordered callback) shows up
+here as a changed number.
+
+If a deliberate behaviour change invalidates the goldens, regenerate
+with::
+
+    PYTHONPATH=src python tests/integration/regenerate_goldens.py
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.fidelity import Fidelity
+from repro.experiments.partitioning import figure10
+from repro.experiments.scaling import figure2
+
+GOLDEN_PATH = (
+    Path(__file__).parent / "goldens" / "fig2_fig10_smoke.json"
+)
+
+
+def series_payload(series_list):
+    return [
+        {
+            "title": series.title,
+            "x_values": list(series.x_values),
+            "curves": {
+                name: list(values)
+                for name, values in series.curves.items()
+            },
+        }
+        for series in series_list
+    ]
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    with GOLDEN_PATH.open() as handle:
+        return json.load(handle)
+
+
+class TestFailureFreeFigureRegression:
+    def test_fig2_bit_identical_to_golden(self, goldens):
+        actual = series_payload(figure2(Fidelity.smoke()))
+        assert actual == goldens["fig2"]
+
+    def test_fig10_bit_identical_to_golden(self, goldens):
+        actual = series_payload(figure10(Fidelity.smoke()))
+        assert actual == goldens["fig10"]

@@ -30,8 +30,9 @@ def rule_hits(source, path, rule_id):
     ]
 
 
-def test_all_six_rules_registered():
+def test_all_seven_rules_registered():
     assert [rule.rule_id for rule in all_rules()] == [
+        "fault-stream-misuse",
         "float-time-equality",
         "id-keyed-container",
         "process-protocol",
@@ -367,6 +368,62 @@ class TestProcessProtocol:
             "    yield 17  # simlint: ignore[process-protocol]\n"
         )
         violations = lint_source(snippet, NEUTRAL_PATH)
+        assert [v for v in violations if v.suppressed]
+        assert not [v for v in violations if not v.suppressed]
+
+
+class TestFaultStreamMisuse:
+    RULE = "fault-stream-misuse"
+    FAULTS_PATH = "repro/faults/fixture.py"
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            # Shared-stream names inside the fault subsystem.
+            "x = streams.exponential('restart-delay', mean)\n",
+            "x = self.streams.bernoulli('write-coin', 0.5)\n",
+            "stream = streams.get('page-choice')\n",
+            "x = self._streams.uniform('think-0', 0.0, 1.0)\n",
+            "n = streams.uniform_int('copy-choice', 0, 3)\n",
+            # f-string whose head is not the fault- prefix.
+            "x = streams.exponential(f'disk-{node}', mean)\n",
+            # f-string starting with an interpolation: unprovable.
+            "x = streams.exponential(f'{kind}-crash', mean)\n",
+            # Name argument: cannot prove the prefix either.
+            "x = streams.exponential(name, mean)\n",
+        ],
+    )
+    def test_flags_in_faults_scope(self, snippet):
+        assert rule_hits(snippet, self.FAULTS_PATH, self.RULE)
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "x = streams.exponential('fault-crash-3', mtbf)\n",
+            "x = self.streams.bernoulli('fault-msg-loss', p)\n",
+            "stream = streams.get('fault-retry-backoff')\n",
+            "x = streams.exponential(f'fault-crash-{node}', mtbf)\n",
+            # Not a streams receiver.
+            "x = stream.expovariate(1.0 / mean)\n",
+            "x = rng.exponential('restart-delay', mean)\n",
+        ],
+    )
+    def test_does_not_flag(self, snippet):
+        assert not rule_hits(snippet, self.FAULTS_PATH, self.RULE)
+
+    @pytest.mark.parametrize(
+        "path", [SIM_PATH, CORE_PATH, NEUTRAL_PATH]
+    )
+    def test_out_of_scope_path_not_flagged(self, path):
+        snippet = "x = streams.exponential('restart-delay', mean)\n"
+        assert not rule_hits(snippet, path, self.RULE)
+
+    def test_suppression(self):
+        snippet = (
+            "x = streams.get('page-choice')"
+            "  # simlint: ignore[fault-stream-misuse]\n"
+        )
+        violations = lint_source(snippet, self.FAULTS_PATH)
         assert [v for v in violations if v.suppressed]
         assert not [v for v in violations if not v.suppressed]
 
