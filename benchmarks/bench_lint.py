@@ -1,0 +1,132 @@
+"""Full-tree lint timing benchmark (cold and warm cache).
+
+simlint gates CI, so its own runtime is part of the perf trajectory:
+every new rule — and especially the whole-program pass, which cannot
+be cached per file — adds latency to every push.  This benchmark runs
+the linter over ``src``, ``benchmarks``, and ``tests`` three ways and
+appends the timings to ``BENCH_lint.json`` at the repo root (override
+with ``$REPRO_BENCH_OUT``):
+
+* **cold** — empty cache, file rules + project rules (what a fresh CI
+  container pays);
+* **warm** — second run against the populated cache (what an
+  incremental run pays: cache hits plus the uncacheable project pass);
+* **project-only** — the whole-program pass alone (model build + the
+  four project rules), isolating the layer this PR added.
+
+Run standalone for a quick reading::
+
+    python benchmarks/bench_lint.py
+
+or through pytest (same JSON record)::
+
+    pytest benchmarks/bench_lint.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+# Standalone-script convenience: make src/ importable without
+# PYTHONPATH (pytest runs get it from the usual test environment).
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(
+        0, str(Path(__file__).resolve().parents[1] / "src")
+    )
+
+from repro.lint.cache import LintCache
+from repro.lint.engine import discover_files, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_OUT = REPO_ROOT / "BENCH_lint.json"
+LINTED_TREES = ("src", "benchmarks", "tests")
+
+
+def _roots() -> list[Path]:
+    return [REPO_ROOT / tree for tree in LINTED_TREES]
+
+
+def _time_lint(cache: LintCache | None, **kwargs) -> tuple[float, object]:
+    started = time.perf_counter()
+    report = lint_paths(_roots(), cache=cache, **kwargs)
+    return time.perf_counter() - started, report
+
+
+def run_benchmark(tmp_cache: Path) -> dict:
+    """Cold, warm, and project-only timings over the real tree."""
+    cold_seconds, cold = _time_lint(LintCache(tmp_cache))
+    warm_seconds, warm = _time_lint(LintCache(tmp_cache))
+
+    started = time.perf_counter()
+    from repro.lint.project import ProjectModel
+    from repro.lint.registry import all_project_rules
+
+    model = ProjectModel.build(discover_files(_roots()))
+    project_findings = sum(
+        len(rule.check_project(model))
+        for rule in all_project_rules()
+    )
+    project_seconds = time.perf_counter() - started
+
+    return {
+        "benchmark": "lint_full_tree",
+        "trees": list(LINTED_TREES),
+        "files": cold.files,
+        "violations_total": len(cold.violations),
+        "project_findings": project_findings,
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "warm_cache_hits": warm.cache_hits,
+        "project_pass_seconds": round(project_seconds, 4),
+        "warm_speedup": round(
+            cold_seconds / warm_seconds if warm_seconds > 0 else 0.0,
+            2,
+        ),
+        "timestamp": time.strftime(
+            "%Y-%m-%dT%H:%M:%S%z", time.localtime()
+        ),
+    }
+
+
+def _out_path() -> Path:
+    override = os.environ.get("REPRO_BENCH_OUT")
+    return Path(override) if override else DEFAULT_OUT
+
+
+def append_record(record: dict, path: Path) -> None:
+    """Append to the JSON trajectory (a list of records)."""
+    records = []
+    if path.is_file():
+        try:
+            records = json.loads(path.read_text(encoding="utf-8"))
+            if not isinstance(records, list):
+                records = [records]
+        except (OSError, ValueError):
+            records = []
+    records.append(record)
+    path.write_text(
+        json.dumps(records, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def test_lint_full_tree_timing(tmp_path=None):
+    """Record cold/warm lint timings; sanity-check cache behaviour."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as scratch:
+        cache_file = Path(scratch) / "simlint-bench-cache.json"
+        record = run_benchmark(cache_file)
+    append_record(record, _out_path())
+    print(json.dumps(record, indent=2))
+    # The warm run must actually hit the cache for every file.
+    assert record["warm_cache_hits"] == record["files"]
+
+
+if __name__ == "__main__":  # pragma: no cover
+    test_lint_full_tree_timing()

@@ -43,6 +43,12 @@ class NoDcNodeManager(NodeCCManager):
     def abort(self, cohort: Cohort) -> None:
         """Nothing to clean up."""
 
+    def crash_reset(self) -> None:
+        """Deliberate no-op: NO_DC tracks no per-node CC state (no
+        lock tables, no timestamps), so a crash has nothing to shed.
+        Explicit rather than inherited so the fault-recovery contract
+        is a stated decision, not an accident."""
+
 
 class NoDataContention(CCAlgorithm):
     """The infinite-database 2PL baseline."""

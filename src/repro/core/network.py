@@ -172,6 +172,14 @@ class NetworkManager:
         ``on_drop(payload)`` runs (asynchronously) instead if fault
         injection discards the message; without an injector attached
         messages are never dropped and the hook is inert.
+
+        Protocol contract: both hooks are invoked with exactly one
+        positional argument (the payload), never more, never fewer —
+        a bound method, local function, or lambda must accept that
+        shape.  The ``message-handler-protocol`` lint rule checks
+        every statically resolvable ``post(...)`` call site against
+        this contract, so arity drift is caught at review time rather
+        than as a mid-simulation ``TypeError``.
         """
         if source == destination:
             self.env.schedule_now(handler, payload)

@@ -7,30 +7,51 @@ property is easy to break with ordinary-looking Python — an ``id()``
 ``set`` to pick a deadlock victim — and such breaks are invisible to
 the type checker and usually to the test suite (they only show up as
 rare cross-run flakes).  simlint rejects those bug classes at review
-time by walking the AST of every source file.
+time by walking the AST of every source file, then runs a
+whole-program pass (:mod:`repro.lint.project`) over a symbol table and
+call graph of the full tree to check cross-module contracts: stream
+registrations, message-handler arity, CC-interface completeness, and
+non-``Waitable`` yields.
 
 Usage::
 
     python -m repro.lint src benchmarks tests
     python -m repro.lint src --format=json
-    python -m repro.lint --list-rules
+    python -m repro.lint --format=sarif --jobs 4
+    python -m repro.lint --select 'stream-*' --list-rules
 
 Findings that are intentional are silenced inline::
 
     if top.time == now:  # simlint: ignore[float-time-equality]
 
-See :mod:`repro.lint.rules` for the rule set and
-:mod:`repro.lint.engine` for the caching file driver.
+or inventoried (with a reason) in ``lint/baseline.json``; only live
+``error``-severity findings and stale baseline entries fail a run.
+
+See :mod:`repro.lint.rules` for the file rules,
+:mod:`repro.lint.project` for the project rules, and
+:mod:`repro.lint.engine` for the caching, multi-process driver.
 """
 
+from repro.lint.baseline import Baseline, BaselineEntry
 from repro.lint.engine import LintReport, lint_file, lint_paths
-from repro.lint.registry import Rule, all_rules, get_rule, rules_signature
+from repro.lint.registry import (
+    ProjectRule,
+    Rule,
+    all_project_rules,
+    all_rules,
+    get_rule,
+    rules_signature,
+)
 from repro.lint.violations import Violation
 
 __all__ = [
+    "Baseline",
+    "BaselineEntry",
     "LintReport",
+    "ProjectRule",
     "Rule",
     "Violation",
+    "all_project_rules",
     "all_rules",
     "get_rule",
     "lint_file",

@@ -25,8 +25,9 @@ from repro.lint.violations import Violation
 
 __all__ = ["LintCache", "default_cache_path"]
 
-#: Bump when the cache entry layout changes.
-CACHE_FORMAT = 1
+#: Bump when the cache entry layout changes (2: violations carry
+#: severity/baselined fields).
+CACHE_FORMAT = 2
 
 
 def default_cache_path() -> Path:

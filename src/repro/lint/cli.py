@@ -1,20 +1,23 @@
 """``python -m repro.lint`` — the simlint command line.
 
-Exit codes: 0 clean, 1 unsuppressed violations, 2 usage errors
-(unknown rule ids, missing paths).
+Exit codes: 0 clean, 1 findings (live error-severity violations or a
+stale baseline), 2 engine/config errors only (unknown rule patterns,
+missing paths, unreadable baseline).
 """
 
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.lint.baseline import Baseline, default_baseline_path
 from repro.lint.cache import LintCache, default_cache_path
 from repro.lint.engine import lint_paths
-from repro.lint.registry import all_rules, get_rule
-from repro.lint.reporters import render_json, render_text
+from repro.lint.registry import all_project_rules, all_rules
+from repro.lint.reporters import render_json, render_sarif, render_text
 
 __all__ = ["main"]
 
@@ -38,14 +41,57 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
     parser.add_argument(
         "--select",
-        metavar="RULES",
-        help="comma-separated rule ids to run (default: all)",
+        metavar="PATTERNS",
+        help=(
+            "comma-separated rule ids or globs to run "
+            "(e.g. 'stream-*,cc-interface'; default: all)"
+        ),
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="PATTERNS",
+        help="comma-separated rule ids or globs to skip",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help=(
+            "baseline file of inventoried findings (default: the "
+            "committed lint/baseline.json when present)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline, report every finding",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline to inventory every current "
+            "error-severity finding, then exit 0"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        help=(
+            "file-pass worker processes "
+            "(default: $REPRO_LINT_JOBS or 1)"
+        ),
+    )
+    parser.add_argument(
+        "--no-project",
+        action="store_true",
+        help="skip whole-program project rules (file rules only)",
     )
     parser.add_argument(
         "--list-rules",
@@ -68,25 +114,98 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--show-suppressed",
         action="store_true",
-        help="include suppressed findings in text output",
+        help="include suppressed/baselined findings in text output",
     )
     return parser
 
 
 def _list_rules() -> str:
     lines = []
-    for rule in all_rules():
-        scope = (
-            "+".join(
-                fragment.strip("/").split("/")[-1]
-                for fragment in rule.include
+    for kind, rules in (
+        ("file", all_rules()),
+        ("project", all_project_rules()),
+    ):
+        for rule in rules:
+            scope = (
+                "+".join(
+                    fragment.strip("/").split("/")[-1] or fragment
+                    for fragment in rule.include
+                )
+                if rule.include
+                else "all"
             )
-            if rule.include
-            else "all"
-        )
-        lines.append(f"{rule.rule_id}  [{scope}]")
-        lines.append(f"    {rule.summary}")
+            lines.append(
+                f"{rule.rule_id}  [{kind}, {rule.severity}, {scope}]"
+            )
+            lines.append(f"    {rule.summary}")
     return "\n".join(lines)
+
+
+def _select_rules(
+    select: Optional[str], ignore: Optional[str]
+) -> tuple:
+    """Resolve ``--select``/``--ignore`` glob lists into rule lists.
+
+    Returns ``(file_rules, project_rules)``; raises ``ValueError``
+    with a message when a pattern matches no rule id (a typo'd
+    pattern silently linting nothing must not report success).
+    """
+    file_rules = {rule.rule_id: rule for rule in all_rules()}
+    project_rules = {
+        rule.rule_id: rule for rule in all_project_rules()
+    }
+    every_id = sorted(file_rules) + sorted(project_rules)
+
+    def patterns(raw: Optional[str]) -> List[str]:
+        if not raw:
+            return []
+        return [part.strip() for part in raw.split(",") if part.strip()]
+
+    selected = set()
+    select_patterns = patterns(select)
+    if select_patterns:
+        for pattern in select_patterns:
+            matched = fnmatch.filter(every_id, pattern)
+            if not matched:
+                raise ValueError(
+                    f"unknown rule: --select pattern {pattern!r} "
+                    "matches no rule id"
+                )
+            selected.update(matched)
+    else:
+        selected.update(every_id)
+
+    for pattern in patterns(ignore):
+        matched = fnmatch.filter(every_id, pattern)
+        if not matched:
+            raise ValueError(
+                f"unknown rule: --ignore pattern {pattern!r} "
+                "matches no rule id"
+            )
+        selected.difference_update(matched)
+
+    if not selected:
+        raise ValueError("--select/--ignore left no rules to run")
+    return (
+        [file_rules[i] for i in sorted(selected) if i in file_rules],
+        [
+            project_rules[i]
+            for i in sorted(selected)
+            if i in project_rules
+        ],
+    )
+
+
+def _resolve_baseline(options) -> Optional[Baseline]:
+    """The baseline to apply, honouring the CLI flags."""
+    if options.no_baseline or options.update_baseline:
+        return None
+    if options.baseline:
+        return Baseline.load(Path(options.baseline))
+    committed = default_baseline_path()
+    if committed.exists():
+        return Baseline.load(committed)
+    return None
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -98,20 +217,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_list_rules())
         return 0
 
-    rules = all_rules()
-    if options.select:
-        try:
-            rules = [
-                get_rule(rule_id.strip())
-                for rule_id in options.select.split(",")
-                if rule_id.strip()
-            ]
-        except KeyError as error:
-            print(f"unknown rule id: {error.args[0]}", file=sys.stderr)
-            return 2
-        if not rules:
-            print("--select named no rules", file=sys.stderr)
-            return 2
+    try:
+        rules, project_rules = _select_rules(
+            options.select, options.ignore
+        )
+        baseline = _resolve_baseline(options)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if options.no_project:
+        project_rules = []
 
     cache = None
     if not options.no_cache:
@@ -124,14 +239,38 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     try:
         report = lint_paths(
-            [Path(p) for p in options.paths], rules, cache
+            [Path(p) for p in options.paths],
+            rules,
+            cache,
+            project_rules=project_rules,
+            baseline=baseline,
+            jobs=options.jobs,
         )
-    except FileNotFoundError as error:
+    except (FileNotFoundError, ValueError) as error:
         print(str(error), file=sys.stderr)
         return 2
 
+    if options.update_baseline:
+        target = Path(
+            options.baseline
+            if options.baseline
+            else default_baseline_path()
+        )
+        updated = Baseline.from_violations(
+            [v for v in report.failures],
+            reason="inventoried by --update-baseline; justify or fix",
+        )
+        updated.write(target)
+        print(
+            f"baseline: inventoried {sum(e.count for e in updated.entries)} "
+            f"finding(s) in {target}"
+        )
+        return 0
+
     if options.format == "json":
         print(render_json(report))
+    elif options.format == "sarif":
+        print(render_sarif(report, rules + list(project_rules)))
     else:
         print(
             render_text(

@@ -1,26 +1,50 @@
 """File discovery and the lint driver.
 
 ``lint_paths`` walks the given files/directories, lints every ``*.py``
-(through the content-hash cache when one is supplied), applies inline
-suppressions, and returns a :class:`LintReport` with stable ordering —
-the same tree always produces byte-identical output, which is itself a
-determinism property the reporters rely on.
+(through the content-hash cache when one is supplied, fanning out to a
+process pool when ``jobs > 1``), runs the whole-program project rules
+over the full tree, applies inline suppressions and the baseline, and
+returns a :class:`LintReport` with stable ordering — the same tree
+always produces byte-identical output, which is itself a determinism
+property the reporters rely on.
+
+The two passes cache differently: per-file findings are a pure
+function of ``(file bytes, file-rule set)`` and go through the
+:class:`~repro.lint.cache.LintCache`; project findings depend on the
+whole tree and are recomputed every run (building the model is one
+parse per file — cheap next to the per-file rule sweep it replaces on
+a warm cache).
 """
 
 from __future__ import annotations
 
 import ast
+import concurrent.futures
 import hashlib
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.lint.baseline import Baseline, BaselineEntry
 from repro.lint.cache import LintCache
-from repro.lint.registry import Rule, all_rules, rules_signature
-from repro.lint.suppress import apply_suppressions
+from repro.lint.registry import (
+    ProjectRule,
+    Rule,
+    all_project_rules,
+    all_rules,
+    rules_signature,
+)
+from repro.lint.suppress import apply_suppressions, parse_suppressions
 from repro.lint.violations import Violation
 
-__all__ = ["LintReport", "discover_files", "lint_file", "lint_paths"]
+__all__ = [
+    "LintReport",
+    "discover_files",
+    "lint_file",
+    "lint_paths",
+    "resolve_lint_jobs",
+]
 
 #: Directory names never descended into.
 _SKIP_DIRS = frozenset(
@@ -44,11 +68,19 @@ class LintReport:
     violations: List[Violation] = field(default_factory=list)
     files: int = 0
     cache_hits: int = 0
+    #: Baseline entries that waived fewer findings than they claim.
+    stale_baseline: List[BaselineEntry] = field(default_factory=list)
 
     @property
     def active(self) -> List[Violation]:
-        """Unsuppressed violations — the ones that fail the run."""
-        return [v for v in self.violations if not v.suppressed]
+        """Live findings — neither suppressed nor baselined."""
+        return [v for v in self.violations if v.counts]
+
+    @property
+    def failures(self) -> List[Violation]:
+        """Live *error*-severity findings — the ones that fail the run
+        (warnings and infos are reported without gating)."""
+        return [v for v in self.active if v.severity == "error"]
 
     @property
     def suppressed(self) -> List[Violation]:
@@ -56,9 +88,14 @@ class LintReport:
         return [v for v in self.violations if v.suppressed]
 
     @property
+    def baselined(self) -> List[Violation]:
+        """Findings inventoried by the baseline file."""
+        return [v for v in self.violations if v.baselined]
+
+    @property
     def ok(self) -> bool:
-        """Whether the tree is clean (no unsuppressed violations)."""
-        return not self.active
+        """Clean: no live errors and no stale baseline entries."""
+        return not self.failures and not self.stale_baseline
 
 
 def discover_files(paths: Sequence[Path]) -> List[Path]:
@@ -88,6 +125,30 @@ def discover_files(paths: Sequence[Path]) -> List[Path]:
                 files.append(candidate)
     files.sort(key=lambda f: f.as_posix())
     return files
+
+
+def resolve_lint_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit > ``$REPRO_LINT_JOBS`` > 1 (serial).
+
+    Unlike the sweep executor, the default is serial — linting is
+    fast and the pool only pays off on a cold cache over the full
+    tree, so parallelism is opt-in (``--jobs`` / the env knob).
+    """
+    if jobs is None:
+        env = os.environ.get("REPRO_LINT_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    "REPRO_LINT_JOBS must be a positive integer, "
+                    f"got {env!r}"
+                ) from None
+        else:
+            jobs = 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
 
 
 def lint_source(
@@ -124,7 +185,7 @@ def lint_file(
     cache: Optional[LintCache] = None,
     signature: Optional[str] = None,
 ) -> List[Violation]:
-    """Lint one file, consulting ``cache`` when provided."""
+    """Lint one file with the file rules, consulting ``cache``."""
     if rules is None:
         rules = all_rules()
     path = Path(path)
@@ -147,21 +208,36 @@ def lint_file(
     return violations
 
 
-def lint_paths(
-    paths: Sequence[Path],
-    rules: Optional[List[Rule]] = None,
-    cache: Optional[LintCache] = None,
-) -> LintReport:
-    """Lint a set of files/directories into one report."""
-    if rules is None:
-        rules = all_rules()
+def _lint_worker(
+    path_str: str, rules: List[Rule]
+) -> List[Violation]:
+    """Pool worker: lint one file with the given file rules.
+
+    The file is read in the worker — linting is a pure function of
+    the bytes, so the parent only needs them for the cache key.  Rule
+    instances are stateless value objects and travel by pickle.
+    """
+    path = Path(path_str)
+    source = path.read_bytes().decode("utf-8", errors="replace")
+    return lint_source(source, path_str, rules)
+
+
+def _file_pass(
+    files: Sequence[Path],
+    rules: List[Rule],
+    cache: Optional[LintCache],
+    jobs: int,
+    report: LintReport,
+) -> None:
+    """Per-file rules over ``files``, appending into ``report``."""
     signature = rules_signature(rules)
-    report = LintReport()
-    for path in discover_files(paths):
-        data = path.read_bytes()
+    missing: List[Tuple[str, Optional[str]]] = []  # (path, cache key)
+    for path in files:
         posix_path = path.as_posix()
         report.files += 1
+        key = None
         if cache is not None:
+            data = path.read_bytes()
             key = LintCache.key(
                 hashlib.sha256(data).hexdigest(), signature
             )
@@ -172,15 +248,92 @@ def lint_paths(
                     v.with_path(posix_path) for v in cached
                 )
                 continue
-        violations = lint_source(
-            data.decode("utf-8", errors="replace"),
-            posix_path,
-            rules,
-        )
-        if cache is not None:
+        missing.append((posix_path, key))
+
+    if jobs > 1 and len(missing) > 1:
+        workers = min(jobs, len(missing))
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers
+        ) as pool:
+            futures = [
+                pool.submit(_lint_worker, posix_path, rules)
+                for posix_path, _key in missing
+            ]
+            results = [future.result() for future in futures]
+    else:
+        results = [
+            _lint_worker(posix_path, rules)
+            for posix_path, _key in missing
+        ]
+    for (posix_path, key), violations in zip(missing, results):
+        if cache is not None and key is not None:
             cache.put(key, violations)
         report.violations.extend(violations)
+
+
+def _project_pass(
+    files: Sequence[Path],
+    project_rules: Sequence[ProjectRule],
+    report: LintReport,
+) -> None:
+    """Whole-program rules over the full tree, appending findings."""
+    from repro.lint.project import ProjectModel
+
+    model = ProjectModel.build(files)
+    findings: List[Violation] = []
+    for rule in project_rules:
+        findings.extend(rule.check_project(model))
+    # Inline suppressions apply to project findings too; sources come
+    # from the already-parsed model (unparsable files have no project
+    # findings to suppress).
+    suppression_maps: Dict[str, Dict[int, set]] = {}
+    for violation in findings:
+        module = model.modules_by_path.get(violation.path)
+        if module is None:
+            report.violations.append(violation)
+            continue
+        waivers = suppression_maps.get(violation.path)
+        if waivers is None:
+            waivers = parse_suppressions(module.source)
+            suppression_maps[violation.path] = waivers
+        if violation.rule_id in waivers.get(violation.line, ()):
+            report.violations.append(violation.as_suppressed())
+        else:
+            report.violations.append(violation)
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    rules: Optional[List[Rule]] = None,
+    cache: Optional[LintCache] = None,
+    project_rules: Optional[Sequence[ProjectRule]] = None,
+    baseline: Optional[Baseline] = None,
+    jobs: Optional[int] = None,
+) -> LintReport:
+    """Lint a set of files/directories into one report.
+
+    ``rules=None`` runs every registered file rule; in that case
+    ``project_rules=None`` also runs every registered project rule.
+    With an explicit ``rules`` list, project rules default to none —
+    callers selecting a subset (tests, ``--select``) pass both lists
+    explicitly.  ``baseline`` marks inventoried findings; ``jobs``
+    follows :func:`resolve_lint_jobs`.
+    """
+    if project_rules is None:
+        project_rules = all_project_rules() if rules is None else ()
+    if rules is None:
+        rules = all_rules()
+    jobs = resolve_lint_jobs(jobs)
+    report = LintReport()
+    files = discover_files(paths)
+    _file_pass(files, rules, cache, jobs, report)
+    if project_rules:
+        _project_pass(files, project_rules, report)
     if cache is not None:
         cache.save()
     report.violations.sort(key=lambda v: v.sort_key)
+    if baseline is not None:
+        report.violations, report.stale_baseline = baseline.apply(
+            report.violations
+        )
     return report

@@ -1,0 +1,969 @@
+"""Whole-program analysis: symbol table, call graph, project rules.
+
+The per-file rules in :mod:`repro.lint.rules` catch hazards visible in
+one AST.  The bugs PRs 2-4 actually shipped — a stream name that only
+exists at one call site, a message handler whose signature drifted, a
+CC manager that silently inherits a no-op ``crash_reset`` — span
+files, so this module parses the whole linted tree once into a
+:class:`ProjectModel`:
+
+* a **module-qualified symbol table** (every module, class, method and
+  function under its dotted name, with per-module import aliasing and
+  conservative base-class resolution), and
+* a **conservative call graph** (edges only where the callee resolves
+  unambiguously: bare names through imports, ``self.method`` through
+  the class chain, ``ClassName.method`` — never attribute calls on
+  unknown receivers).
+
+:class:`~repro.lint.registry.ProjectRule` subclasses registered here
+run after every file rule and see the full model.  Nothing in the
+linted tree is ever imported or executed — all analysis is static.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.lint.registry import ProjectRule, register_project
+from repro.lint.rules import (
+    _OBVIOUS_NON_WAITABLE,
+    _is_env_waitable_call,
+)
+from repro.lint.stream_draws import (
+    compile_patterns,
+    draw_is_registered,
+    iter_stream_draws,
+)
+from repro.lint.violations import Violation
+
+__all__ = [
+    "CCInterfaceRule",
+    "ClassInfo",
+    "FunctionInfo",
+    "MessageHandlerRule",
+    "ModuleInfo",
+    "ProjectModel",
+    "StreamRegistryRule",
+    "WaitableLeakRule",
+]
+
+
+# ======================================================================
+# Symbol table
+# ======================================================================
+
+
+def _decorator_names(node: ast.AST) -> FrozenSet[str]:
+    names = set()
+    for decorator in getattr(node, "decorator_list", ()):
+        target = decorator
+        if isinstance(target, ast.Call):
+            target = target.func
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.add(target.attr)
+    return frozenset(names)
+
+
+def function_body_walk(function: ast.AST):
+    """Walk a function body without entering nested functions."""
+    stack = list(function.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_generator(function: ast.AST) -> bool:
+    for node in function_body_walk(function):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One module-level function or class method."""
+
+    qualname: str
+    name: str
+    module: str
+    path: str
+    class_name: Optional[str]
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    decorators: FrozenSet[str]
+    is_generator: bool
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    @property
+    def is_abstract(self) -> bool:
+        return "abstractmethod" in self.decorators
+
+    def positional_params(self) -> Tuple[List[ast.arg], int, bool]:
+        """(positional params sans self/cls, required count, has *args)."""
+        args = self.node.args
+        params = list(args.posonlyargs) + list(args.args)
+        if self.is_method and not (
+            self.decorators & {"staticmethod"}
+        ):
+            params = params[1:]  # self / cls
+        required = max(0, len(params) - len(args.defaults))
+        return params, required, args.vararg is not None
+
+    def accepts_positional(self, count: int) -> bool:
+        """Whether ``fn(*count_args)`` binds without error."""
+        params, required, has_vararg = self.positional_params()
+        if count < required:
+            return False
+        return has_vararg or count <= len(params)
+
+
+@dataclass(frozen=True)
+class ClassInfo:
+    """One class with its methods and raw base-class spellings."""
+
+    qualname: str
+    name: str
+    module: str
+    path: str
+    node: ast.ClassDef
+    bases: Tuple[str, ...]  # dotted names as written; "" if unresolvable
+    methods: Dict[str, FunctionInfo]
+    abstract_methods: FrozenSet[str]
+    instance_attrs: FrozenSet[str]
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module of the linted tree."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    source: str
+    #: Local alias -> fully qualified dotted target.
+    imports: Dict[str, str] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name derived from the package layout on disk.
+
+    Walks up while ``__init__.py`` marks the parent as a package, so
+    ``src/repro/core/network.py`` maps to ``repro.core.network``
+    regardless of where the tree is checked out (and fixture packages
+    in temporary directories resolve the same way).
+    """
+    path = Path(path)
+    parts = [] if path.name == "__init__.py" else [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    return ".".join(reversed(parts)) or path.stem
+
+
+class ProjectModel:
+    """Symbol table + call graph over one set of parsed modules."""
+
+    def __init__(self, modules: Dict[str, ModuleInfo]):
+        self.modules = modules
+        self.modules_by_path: Dict[str, ModuleInfo] = {
+            info.path: info for info in modules.values()
+        }
+        self.classes: Dict[str, ClassInfo] = {}
+        self.classes_by_name: Dict[str, List[ClassInfo]] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        for info in modules.values():
+            for cls in info.classes.values():
+                self.classes[cls.qualname] = cls
+                self.classes_by_name.setdefault(cls.name, []).append(
+                    cls
+                )
+            for fn in info.functions.values():
+                self.functions[fn.qualname] = fn
+            for cls in info.classes.values():
+                for method in cls.methods.values():
+                    self.functions[method.qualname] = method
+        self._call_graph: Optional[Dict[str, FrozenSet[str]]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, files: Sequence[Path]) -> "ProjectModel":
+        """Parse ``files`` into a model; unparsable files are skipped
+        (the per-file pass already reported them as ``parse-error``)."""
+        modules: Dict[str, ModuleInfo] = {}
+        for path in files:
+            path = Path(path)
+            posix = path.as_posix()
+            try:
+                source = path.read_bytes().decode(
+                    "utf-8", errors="replace"
+                )
+                tree = ast.parse(source, filename=posix)
+            except (OSError, SyntaxError, ValueError):
+                continue
+            name = module_name_for(path)
+            if name in modules:
+                # Two files mapping to one module (e.g. the same tree
+                # given twice): first discovery wins, deterministic
+                # because files arrive sorted.
+                continue
+            modules[name] = cls._build_module(
+                name, posix, tree, source
+            )
+        return cls(modules)
+
+    @staticmethod
+    def _build_module(
+        name: str, path: str, tree: ast.Module, source: str
+    ) -> ModuleInfo:
+        info = ModuleInfo(
+            name=name, path=path, tree=tree, source=source
+        )
+        package = name.rsplit(".", 1)[0] if "." in name else ""
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = (
+                        alias.name if alias.asname else
+                        alias.name.split(".")[0]
+                    )
+                    info.imports[bound] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    # Relative import: resolve against this package.
+                    anchor_parts = name.split(".")
+                    anchor = anchor_parts[: len(anchor_parts) - node.level]
+                    base = ".".join(anchor + ([node.module] if node.module else []))
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    info.imports[bound] = (
+                        f"{base}.{alias.name}" if base else alias.name
+                    )
+        for node in tree.body:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                info.functions[node.name] = FunctionInfo(
+                    qualname=f"{name}.{node.name}",
+                    name=node.name,
+                    module=name,
+                    path=path,
+                    class_name=None,
+                    node=node,
+                    decorators=_decorator_names(node),
+                    is_generator=_is_generator(node),
+                )
+            elif isinstance(node, ast.ClassDef):
+                info.classes[node.name] = ProjectModel._build_class(
+                    name, path, node
+                )
+        _ = package  # (kept for symmetry; relative imports used it)
+        return info
+
+    @staticmethod
+    def _build_class(
+        module: str, path: str, node: ast.ClassDef
+    ) -> ClassInfo:
+        methods: Dict[str, FunctionInfo] = {}
+        abstract = set()
+        instance_attrs = set()
+        for item in node.body:
+            if isinstance(
+                item, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                fn = FunctionInfo(
+                    qualname=f"{module}.{node.name}.{item.name}",
+                    name=item.name,
+                    module=module,
+                    path=path,
+                    class_name=node.name,
+                    node=item,
+                    decorators=_decorator_names(item),
+                    is_generator=_is_generator(item),
+                )
+                methods[item.name] = fn
+                if fn.is_abstract:
+                    abstract.add(item.name)
+                for sub in function_body_walk(item):
+                    target = None
+                    if isinstance(sub, ast.Assign):
+                        for t in sub.targets:
+                            target = t
+                            if (
+                                isinstance(target, ast.Attribute)
+                                and isinstance(
+                                    target.value, ast.Name
+                                )
+                                and target.value.id == "self"
+                            ):
+                                instance_attrs.add(target.attr)
+                    elif isinstance(sub, ast.AnnAssign):
+                        target = sub.target
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            instance_attrs.add(target.attr)
+            elif isinstance(item, ast.AnnAssign) and isinstance(
+                item.target, ast.Name
+            ):
+                instance_attrs.add(item.target.id)
+            elif isinstance(item, ast.Assign):
+                for t in item.targets:
+                    if isinstance(t, ast.Name):
+                        instance_attrs.add(t.id)
+        bases = tuple(
+            _dotted_name(base) or "" for base in node.bases
+        )
+        return ClassInfo(
+            qualname=f"{module}.{node.name}",
+            name=node.name,
+            module=module,
+            path=path,
+            node=node,
+            bases=bases,
+            methods=methods,
+            abstract_methods=frozenset(abstract),
+            instance_attrs=frozenset(instance_attrs),
+        )
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+
+    def resolve_class(
+        self, module: ModuleInfo, spelled: str
+    ) -> Optional[ClassInfo]:
+        """Resolve a base-class spelling as written in ``module``."""
+        if not spelled:
+            return None
+        head, _, rest = spelled.partition(".")
+        # Fully spelled or import-aliased dotted reference.
+        target = module.imports.get(head)
+        if target is not None:
+            qualname = f"{target}.{rest}" if rest else target
+            found = self.classes.get(qualname)
+            if found is not None:
+                return found
+        if not rest:
+            local = module.classes.get(head)
+            if local is not None:
+                return local
+            candidates = self.classes_by_name.get(head, [])
+            if len(candidates) == 1:
+                return candidates[0]
+        return self.classes.get(spelled)
+
+    def base_classes(self, cls: ClassInfo) -> List[ClassInfo]:
+        """Resolved direct bases of ``cls`` (unresolvable ones drop)."""
+        module = self.modules.get(cls.module)
+        if module is None:
+            return []
+        resolved = []
+        for spelled in cls.bases:
+            base = self.resolve_class(module, spelled)
+            if base is not None:
+                resolved.append(base)
+        return resolved
+
+    def mro_chain(self, cls: ClassInfo) -> List[ClassInfo]:
+        """Conservative linearization: DFS over resolved bases,
+        duplicates and cycles dropped, ``cls`` first."""
+        chain: List[ClassInfo] = []
+        seen = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop(0)
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            chain.append(current)
+            stack.extend(self.base_classes(current))
+        return chain
+
+    def resolve_method(
+        self, cls: ClassInfo, name: str
+    ) -> Optional[FunctionInfo]:
+        """First definition of ``name`` along the class chain."""
+        for ancestor in self.mro_chain(cls):
+            method = ancestor.methods.get(name)
+            if method is not None:
+                return method
+        return None
+
+    def chain_instance_attrs(self, cls: ClassInfo) -> FrozenSet[str]:
+        """Instance attributes assigned anywhere along the chain."""
+        attrs = set()
+        for ancestor in self.mro_chain(cls):
+            attrs.update(ancestor.instance_attrs)
+        return frozenset(attrs)
+
+    def transitive_subclasses(
+        self, root: ClassInfo
+    ) -> List[ClassInfo]:
+        """Every model class below ``root`` (excluding it), sorted."""
+        below = []
+        for cls in self.classes.values():
+            if cls.qualname == root.qualname:
+                continue
+            chain = self.mro_chain(cls)
+            if any(
+                c.qualname == root.qualname for c in chain[1:]
+            ):
+                below.append(cls)
+        below.sort(key=lambda c: c.qualname)
+        return below
+
+    def resolve_call(
+        self, caller: FunctionInfo, call: ast.Call
+    ) -> Optional[FunctionInfo]:
+        """Conservative callee resolution; None when ambiguous."""
+        func = call.func
+        module = self.modules.get(caller.module)
+        if isinstance(func, ast.Name):
+            if module is None:
+                return None
+            local = module.functions.get(func.id)
+            if local is not None:
+                return local
+            imported = module.imports.get(func.id)
+            if imported is not None:
+                return self.functions.get(imported)
+            return None
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            if (
+                isinstance(receiver, ast.Name)
+                and receiver.id in ("self", "cls")
+                and caller.class_name is not None
+                and module is not None
+            ):
+                enclosing = module.classes.get(caller.class_name)
+                if enclosing is not None:
+                    return self.resolve_method(enclosing, func.attr)
+                return None
+            if isinstance(receiver, ast.Name) and module is not None:
+                target = self.resolve_class(module, receiver.id)
+                if target is not None:
+                    return self.resolve_method(target, func.attr)
+        return None
+
+    def call_graph(self) -> Dict[str, FrozenSet[str]]:
+        """Caller qualname -> resolved callee qualnames (memoized)."""
+        if self._call_graph is None:
+            edges: Dict[str, FrozenSet[str]] = {}
+            for fn in self.functions.values():
+                callees = set()
+                for node in ast.walk(fn.node):
+                    if isinstance(node, ast.Call):
+                        target = self.resolve_call(fn, node)
+                        if target is not None:
+                            callees.add(target.qualname)
+                edges[fn.qualname] = frozenset(callees)
+            self._call_graph = edges
+        return self._call_graph
+
+    # ------------------------------------------------------------------
+    # Domain extractions
+    # ------------------------------------------------------------------
+
+    def stream_registry(self) -> List[str]:
+        """Stream names/patterns registered via ``register_stream``.
+
+        Extracted statically from every module in the model (the
+        canonical registrations live in ``repro/sim/streams.py``, but
+        extensions may register their own); only constant first
+        arguments count.
+        """
+        patterns = set()
+        for module in self.modules.values():
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                name = (
+                    func.id
+                    if isinstance(func, ast.Name)
+                    else func.attr
+                    if isinstance(func, ast.Attribute)
+                    else None
+                )
+                if name != "register_stream":
+                    continue
+                if node.args and isinstance(
+                    node.args[0], ast.Constant
+                ) and isinstance(node.args[0].value, str):
+                    patterns.add(node.args[0].value)
+        return sorted(patterns)
+
+    def stream_registry_paths(self) -> FrozenSet[str]:
+        """Paths of modules that register stream names."""
+        paths = set()
+        for module in self.modules.values():
+            for node in ast.walk(module.tree):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "register_stream"
+                ):
+                    paths.add(module.path)
+                    break
+        return frozenset(paths)
+
+
+# ======================================================================
+# Project rules
+# ======================================================================
+
+
+@register_project
+class StreamRegistryRule(ProjectRule):
+    """Every stream draw must resolve to a registered stream name."""
+
+    rule_id = "stream-registry"
+    summary = (
+        "stream name does not resolve to any register_stream() entry: "
+        "a typo silently forks a fresh RNG stream and perturbs "
+        "common-random-numbers comparisons; register the name in "
+        "repro/sim/streams.py or fix the spelling"
+    )
+    severity = "error"
+    version = 1
+    include = ("repro/",)
+
+    def check_project(self, model: ProjectModel) -> List[Violation]:
+        patterns = model.stream_registry()
+        if not patterns:
+            return []  # no registry in scope: nothing to check against
+        compiled = compile_patterns(patterns)
+        registry_paths = model.stream_registry_paths()
+        violations: List[Violation] = []
+        for module in sorted(
+            model.modules.values(), key=lambda m: m.path
+        ):
+            if not self.applies_to(module.path):
+                continue
+            if module.path in registry_paths:
+                continue  # the registry module's own internals
+            for draw in iter_stream_draws(module.tree):
+                if draw.dynamic:
+                    continue
+                if draw_is_registered(draw, compiled):
+                    continue
+                drawn = (
+                    repr(draw.name)
+                    if draw.name is not None
+                    else f"f-string starting {draw.prefix!r}"
+                )
+                violations.append(
+                    Violation(
+                        rule_id=self.rule_id,
+                        path=module.path,
+                        line=draw.line,
+                        col=draw.col,
+                        message=(
+                            f"unregistered stream name {drawn}; "
+                            + self.summary
+                        ),
+                        severity=self.severity,
+                    )
+                )
+        return violations
+
+
+def _is_network_ref(node: ast.AST) -> bool:
+    # ``network.post(...)`` / ``self.network.post(...)`` /
+    # ``self.net._transmit...`` — the same spelling heuristic the
+    # stream rules use for their receivers.
+    if isinstance(node, ast.Name):
+        return "network" in node.id or node.id == "net"
+    if isinstance(node, ast.Attribute):
+        return "network" in node.attr or node.attr == "net"
+    return False
+
+
+@register_project
+class MessageHandlerRule(ProjectRule):
+    """``post()`` handlers must be resolvable unary callables."""
+
+    rule_id = "message-handler-protocol"
+    summary = (
+        "NetworkManager.post handlers run as handler(payload): the "
+        "handler (and any on_drop hook) must resolve to a callable "
+        "accepting exactly one positional argument"
+    )
+    severity = "error"
+    version = 1
+    include = ("repro/",)
+
+    def check_project(self, model: ProjectModel) -> List[Violation]:
+        violations: List[Violation] = []
+        for module in sorted(
+            model.modules.values(), key=lambda m: m.path
+        ):
+            if not self.applies_to(module.path):
+                continue
+            self._check_module(model, module, violations)
+        return violations
+
+    def _check_module(
+        self,
+        model: ProjectModel,
+        module: ModuleInfo,
+        violations: List[Violation],
+    ) -> None:
+        functions = list(module.functions.values())
+        for cls in module.classes.values():
+            functions.extend(cls.methods.values())
+        for fn in functions:
+            local_defs = {
+                node.name: node
+                for node in ast.walk(fn.node)
+                if isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                )
+                and node is not fn.node
+            }
+            for node in ast.walk(fn.node):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "post"
+                    and _is_network_ref(node.func.value)
+                ):
+                    continue
+                for role, expr in self._hook_args(node):
+                    problem = self._check_callable(
+                        model, module, fn, local_defs, expr
+                    )
+                    if problem is not None:
+                        violations.append(
+                            Violation(
+                                rule_id=self.rule_id,
+                                path=module.path,
+                                line=expr.lineno,
+                                col=expr.col_offset + 1,
+                                message=f"{role}: {problem}",
+                                severity=self.severity,
+                            )
+                        )
+
+    @staticmethod
+    def _hook_args(call: ast.Call):
+        """(role, expression) pairs for the handler and on_drop args."""
+        hooks = []
+        if len(call.args) >= 3:
+            hooks.append(("post() handler", call.args[2]))
+        if len(call.args) >= 5:
+            hooks.append(("post() on_drop hook", call.args[4]))
+        for keyword in call.keywords:
+            if keyword.arg == "handler":
+                hooks.append(("post() handler", keyword.value))
+            elif keyword.arg == "on_drop":
+                hooks.append(("post() on_drop hook", keyword.value))
+        return hooks
+
+    def _check_callable(
+        self,
+        model: ProjectModel,
+        module: ModuleInfo,
+        caller: FunctionInfo,
+        local_defs: Dict[str, ast.AST],
+        expr: ast.AST,
+    ) -> Optional[str]:
+        """None when fine/unknown, else a description of the problem."""
+        if isinstance(expr, ast.Constant) and expr.value is None:
+            return None  # explicit "no hook"
+        if isinstance(expr, ast.Lambda):
+            return self._lambda_problem(expr)
+        if isinstance(expr, ast.Name):
+            local = local_defs.get(expr.id)
+            if local is not None:
+                return self._arity_problem(
+                    FunctionInfo(
+                        qualname=f"<local>.{expr.id}",
+                        name=expr.id,
+                        module=module.name,
+                        path=module.path,
+                        class_name=None,
+                        node=local,
+                        decorators=_decorator_names(local),
+                        is_generator=_is_generator(local),
+                    )
+                )
+            target = module.functions.get(expr.id)
+            if target is None:
+                imported = module.imports.get(expr.id)
+                if imported is not None:
+                    target = model.functions.get(imported)
+            if target is not None:
+                return self._arity_problem(target)
+            return None  # a parameter or attribute: unknown, skip
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and caller.class_name is not None
+        ):
+            enclosing = module.classes.get(caller.class_name)
+            if enclosing is None:
+                return None
+            method = model.resolve_method(enclosing, expr.attr)
+            if method is not None:
+                return self._arity_problem(method)
+            if expr.attr in model.chain_instance_attrs(enclosing):
+                return None  # instance attribute: arity unknown
+            return (
+                f"handler self.{expr.attr} does not resolve to any "
+                f"method or attribute of {enclosing.name}"
+            )
+        return None
+
+    @staticmethod
+    def _lambda_problem(expr: ast.Lambda) -> Optional[str]:
+        args = expr.args
+        params = list(args.posonlyargs) + list(args.args)
+        required = max(0, len(params) - len(args.defaults))
+        if required <= 1 <= (
+            len(params) if args.vararg is None else 10**9
+        ):
+            return None
+        return (
+            f"lambda takes {required} required argument(s); "
+            "delivery calls it with exactly one payload"
+        )
+
+    @staticmethod
+    def _arity_problem(fn: FunctionInfo) -> Optional[str]:
+        if fn.accepts_positional(1):
+            return None
+        _params, required, _vararg = fn.positional_params()
+        return (
+            f"{fn.qualname} takes {required} required positional "
+            "argument(s); delivery calls it with exactly one payload"
+        )
+
+
+@register_project
+class CCInterfaceRule(ProjectRule):
+    """Concrete CC classes must implement the full abstract surface."""
+
+    rule_id = "cc-interface"
+    summary = (
+        "concurrency-control class leaves part of the CC interface "
+        "unimplemented: every concrete manager must provide the "
+        "abstract surface plus an explicit crash_reset, so a new "
+        "algorithm cannot silently no-op under fault injection"
+    )
+    severity = "error"
+    version = 1
+    include = ("repro/cc/",)
+
+    #: Root -> methods that must be defined *below* the root even
+    #: though the root ships a concrete default.
+    _EXPLICIT: Dict[str, Tuple[str, ...]] = {
+        "NodeCCManager": ("crash_reset",),
+        "CCAlgorithm": (),
+    }
+
+    def check_project(self, model: ProjectModel) -> List[Violation]:
+        violations: List[Violation] = []
+        for root_name in sorted(self._EXPLICIT):
+            for root in model.classes_by_name.get(root_name, []):
+                if not root.abstract_methods:
+                    continue  # not the abstract interface definition
+                self._check_root(model, root, violations)
+        return violations
+
+    def _check_root(
+        self,
+        model: ProjectModel,
+        root: ClassInfo,
+        violations: List[Violation],
+    ) -> None:
+        subclasses = model.transitive_subclasses(root)
+        parents = set()
+        for cls in subclasses:
+            for base in model.base_classes(cls):
+                parents.add(base.qualname)
+        required = sorted(
+            set(root.abstract_methods)
+            | set(self._EXPLICIT.get(root.name, ()))
+        )
+        for cls in subclasses:
+            if cls.qualname in parents:
+                continue  # intermediate base: leaves carry the check
+            if cls.abstract_methods:
+                continue  # itself abstract: not instantiable
+            if not self.applies_to(cls.path):
+                continue
+            chain = [
+                ancestor
+                for ancestor in model.mro_chain(cls)
+                if ancestor.qualname != root.qualname
+            ]
+            missing = [
+                name
+                for name in required
+                if not any(
+                    name in ancestor.methods
+                    and name not in ancestor.abstract_methods
+                    for ancestor in chain
+                )
+            ]
+            if missing:
+                violations.append(
+                    Violation(
+                        rule_id=self.rule_id,
+                        path=cls.path,
+                        line=cls.node.lineno,
+                        col=cls.node.col_offset + 1,
+                        message=(
+                            f"{cls.name} (concrete {root.name}) does "
+                            "not implement: " + ", ".join(missing)
+                            + " — implement them explicitly (an "
+                            "intentional no-op still documents the "
+                            "fault-recovery contract)"
+                        ),
+                        severity=self.severity,
+                    )
+                )
+
+
+@register_project
+class WaitableLeakRule(ProjectRule):
+    """Process bodies must not yield calls returning non-Waitables."""
+
+    rule_id = "waitable-leak"
+    summary = (
+        "sim process yields the result of a call that provably "
+        "returns a non-Waitable: the kernel will kill the process "
+        "with SimulationError at runtime; yield a "
+        "Timeout/Event/Process (or use 'yield from' for a "
+        "sub-generator)"
+    )
+    severity = "error"
+    version = 1
+    include = ("repro/",)
+
+    def check_project(self, model: ProjectModel) -> List[Violation]:
+        violations: List[Violation] = []
+        for fn in sorted(
+            model.functions.values(), key=lambda f: f.qualname
+        ):
+            if not self.applies_to(fn.path):
+                continue
+            if not fn.is_generator:
+                continue
+            self._check_process(model, fn, violations)
+        return violations
+
+    def _check_process(
+        self,
+        model: ProjectModel,
+        fn: FunctionInfo,
+        violations: List[Violation],
+    ) -> None:
+        yields = [
+            node
+            for node in function_body_walk(fn.node)
+            if isinstance(node, ast.Yield)
+        ]
+        if not any(
+            y.value is not None and _is_env_waitable_call(y.value)
+            for y in yields
+        ):
+            return  # not a sim-process body (plain generator)
+        for y in yields:
+            value = y.value
+            if not isinstance(value, ast.Call):
+                continue  # bare/literal yields: per-file rule's job
+            if _is_env_waitable_call(value):
+                continue
+            callee = model.resolve_call(fn, value)
+            if callee is None:
+                continue  # unresolvable: stay conservative
+            if callee.is_generator:
+                violations.append(
+                    Violation(
+                        rule_id=self.rule_id,
+                        path=fn.path,
+                        line=value.lineno,
+                        col=value.col_offset + 1,
+                        message=(
+                            f"{fn.qualname} yields a generator "
+                            f"object from {callee.qualname}; a "
+                            "generator is not a Waitable — use "
+                            "'yield from' or wrap in env.process()"
+                        ),
+                        severity=self.severity,
+                    )
+                )
+            elif self._returns_provably_non_waitable(callee):
+                violations.append(
+                    Violation(
+                        rule_id=self.rule_id,
+                        path=fn.path,
+                        line=value.lineno,
+                        col=value.col_offset + 1,
+                        message=(
+                            f"{fn.qualname} yields the result of "
+                            f"{callee.qualname}, which provably "
+                            "returns a non-Waitable; " + self.summary
+                        ),
+                        severity=self.severity,
+                    )
+                )
+
+    @staticmethod
+    def _returns_provably_non_waitable(fn: FunctionInfo) -> bool:
+        returns = [
+            node
+            for node in function_body_walk(fn.node)
+            if isinstance(node, ast.Return)
+        ]
+        values = [r.value for r in returns if r.value is not None]
+        if not values:
+            return True  # falls off the end / bare return: None
+        return all(
+            isinstance(value, _OBVIOUS_NON_WAITABLE)
+            or (
+                isinstance(value, ast.Constant)
+                and value.value is None
+            )
+            for value in values
+        )

@@ -46,6 +46,7 @@ import ast
 from typing import List, Optional, Set
 
 from repro.lint.registry import Rule, register
+from repro.lint.stream_draws import iter_stream_draws
 from repro.lint.violations import Violation
 
 __all__ = [
@@ -573,7 +574,17 @@ class ProcessProtocolRule(Rule):
 
 @register
 class FaultStreamMisuseRule(Rule):
-    """Fault-subsystem draws from non-``fault-`` random streams."""
+    """Fault-subsystem draws from non-``fault-`` random streams.
+
+    Built on the same draw extraction
+    (:func:`~repro.lint.stream_draws.iter_stream_draws`) as the
+    whole-program ``stream-registry`` rule; this one adds the fault
+    subsystem's stricter discipline — inside ``repro/faults/`` the
+    drawn name must *provably* start with ``fault-``, so a dynamic or
+    unprovable name is flagged here even though the registry rule
+    (which checks spelling, not isolation) gives it the benefit of the
+    doubt.
+    """
 
     rule_id = "fault-stream-misuse"
     summary = (
@@ -581,62 +592,22 @@ class FaultStreamMisuseRule(Rule):
         "draw from a shared stream perturbs every failure-free "
         "sequence after it and breaks bit-identical no-fault runs"
     )
-    version = 1
+    version = 2
     include = ("repro/faults/",)
-
-    #: RandomStreams methods whose first argument is a stream name.
-    _STREAM_METHODS = frozenset(
-        {
-            "bernoulli",
-            "exponential",
-            "get",
-            "sample_without_replacement",
-            "uniform",
-            "uniform_int",
-        }
-    )
 
     def check(self, tree, source, path):
         violations: List[Violation] = []
-        for node in ast.walk(tree):
-            if not isinstance(node, ast.Call):
+        for draw in iter_stream_draws(tree):
+            if draw.provably_prefixed("fault-"):
                 continue
-            func = node.func
-            if not (
-                isinstance(func, ast.Attribute)
-                and func.attr in self._STREAM_METHODS
-                and self._is_streams_ref(func.value)
-            ):
-                continue
-            if node.args and self._is_fault_stream_name(
-                node.args[0]
-            ):
-                continue
-            violations.append(self.violation(path, node))
-        return violations
-
-    @staticmethod
-    def _is_streams_ref(node: ast.AST) -> bool:
-        # ``streams.get(...)`` / ``self.streams.get(...)`` /
-        # ``self._streams.bernoulli(...)``.
-        if isinstance(node, ast.Name):
-            return "streams" in node.id
-        if isinstance(node, ast.Attribute):
-            return "streams" in node.attr
-        return False
-
-    @staticmethod
-    def _is_fault_stream_name(node: ast.AST) -> bool:
-        """Whether the stream-name argument provably starts "fault-"."""
-        if isinstance(node, ast.Constant):
-            return isinstance(
-                node.value, str
-            ) and node.value.startswith("fault-")
-        if isinstance(node, ast.JoinedStr) and node.values:
-            head = node.values[0]
-            return (
-                isinstance(head, ast.Constant)
-                and isinstance(head.value, str)
-                and head.value.startswith("fault-")
+            violations.append(
+                Violation(
+                    rule_id=self.rule_id,
+                    path=path,
+                    line=draw.line,
+                    col=draw.col,
+                    message=self.summary,
+                    severity=self.severity,
+                )
             )
-        return False
+        return violations

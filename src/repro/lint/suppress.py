@@ -60,16 +60,7 @@ def apply_suppressions(
     for violation in violations:
         waived = suppressions.get(violation.line, ())
         if violation.rule_id in waived:
-            result.append(
-                Violation(
-                    rule_id=violation.rule_id,
-                    path=violation.path,
-                    line=violation.line,
-                    col=violation.col,
-                    message=violation.message,
-                    suppressed=True,
-                )
-            )
+            result.append(violation.as_suppressed())
         else:
             result.append(violation)
     return result

@@ -2,10 +2,15 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict
 
-__all__ = ["Violation"]
+__all__ = ["SEVERITIES", "Violation"]
+
+#: Recognized severity levels, strongest first.  Only ``error``
+#: findings fail a run; ``warning`` and ``info`` are reported (and
+#: surfaced in SARIF) without gating.
+SEVERITIES = ("error", "warning", "info")
 
 
 @dataclass(frozen=True)
@@ -13,8 +18,10 @@ class Violation:
     """One finding: a rule fired at a source location.
 
     ``suppressed`` is True when the flagged line carries a matching
-    ``# simlint: ignore[rule-id]`` comment; suppressed findings are
-    reported (JSON always, text on request) but never fail the run.
+    ``# simlint: ignore[rule-id]`` comment; ``baselined`` is True when
+    a checked-in baseline entry inventories the finding.  Neither kind
+    fails the run, but both are reported (JSON/SARIF always, text on
+    request) so the waiver inventory stays auditable.
     """
 
     rule_id: str
@@ -22,12 +29,19 @@ class Violation:
     line: int
     col: int
     message: str
+    severity: str = "error"
     suppressed: bool = False
+    baselined: bool = False
 
     @property
     def sort_key(self) -> tuple:
         """Stable report order: location first, then rule."""
         return (self.path, self.line, self.col, self.rule_id)
+
+    @property
+    def counts(self) -> bool:
+        """Whether this finding is live (neither waived nor baselined)."""
+        return not self.suppressed and not self.baselined
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready rendering (used by the reporter and the cache)."""
@@ -37,7 +51,9 @@ class Violation:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "severity": self.severity,
             "suppressed": self.suppressed,
+            "baselined": self.baselined,
         }
 
     @classmethod
@@ -49,7 +65,9 @@ class Violation:
             line=int(data["line"]),
             col=int(data["col"]),
             message=data["message"],
+            severity=str(data.get("severity", "error")),
             suppressed=bool(data["suppressed"]),
+            baselined=bool(data.get("baselined", False)),
         )
 
     def with_path(self, path: str) -> "Violation":
@@ -61,11 +79,12 @@ class Violation:
         """
         if path == self.path:
             return self
-        return Violation(
-            rule_id=self.rule_id,
-            path=path,
-            line=self.line,
-            col=self.col,
-            message=self.message,
-            suppressed=self.suppressed,
-        )
+        return replace(self, path=path)
+
+    def as_suppressed(self) -> "Violation":
+        """A copy marked as waived by an inline comment."""
+        return replace(self, suppressed=True)
+
+    def as_baselined(self) -> "Violation":
+        """A copy marked as inventoried by the baseline file."""
+        return replace(self, baselined=True)

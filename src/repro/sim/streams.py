@@ -11,15 +11,33 @@ alternatives.
 :class:`RandomStreams` derives one :class:`random.Random` per stream name
 from a master seed, via SHA-256, so streams are reproducible and
 uncorrelated regardless of creation order.
+
+Stream names are **registered**: every canonical stream the simulator
+draws from is declared below via :func:`register_stream`, with
+``{placeholder}`` segments for per-entity families
+(``"disk-service-{node}"`` covers ``disk-service-0``,
+``disk-service-1``, ...).  The registry exists because a typo'd stream
+name does not fail — it silently forks a fresh stream and perturbs
+every common-random-numbers comparison — so the name set must be
+introspectable: the ``stream-registry`` lint rule statically checks
+every draw site against these registrations, and a strict
+:class:`RandomStreams` enforces the same contract at runtime.
 """
 
 from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict
+import re
+from typing import Dict, Tuple
 
-__all__ = ["RandomStreams", "derive_seed"]
+__all__ = [
+    "RandomStreams",
+    "derive_seed",
+    "is_registered",
+    "register_stream",
+    "registered_streams",
+]
 
 
 def derive_seed(master_seed: int, name: str) -> int:
@@ -30,24 +48,85 @@ def derive_seed(master_seed: int, name: str) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+# ----------------------------------------------------------------------
+# Stream-name registry
+# ----------------------------------------------------------------------
+
+#: Registered name/pattern -> one-line description.
+STREAM_REGISTRY: Dict[str, str] = {}
+
+_PLACEHOLDER_RE = re.compile(r"\{[^{}]*\}")
+_PATTERN_CACHE: Dict[str, "re.Pattern[str]"] = {}
+
+
+def register_stream(name: str, description: str = "") -> str:
+    """Declare a canonical stream name (or ``{placeholder}`` family).
+
+    Returns ``name`` so call sites can register and use in one
+    expression.  Re-registering the same name overwrites the
+    description (idempotent for module re-imports).
+    """
+    STREAM_REGISTRY[name] = description
+    return name
+
+
+def registered_streams() -> Tuple[str, ...]:
+    """Every registered name/pattern, sorted for stable iteration."""
+    return tuple(sorted(STREAM_REGISTRY))
+
+
+def _compile(pattern: str) -> "re.Pattern[str]":
+    compiled = _PATTERN_CACHE.get(pattern)
+    if compiled is None:
+        parts = []
+        last = 0
+        for match in _PLACEHOLDER_RE.finditer(pattern):
+            parts.append(re.escape(pattern[last : match.start()]))
+            parts.append(".+")
+            last = match.end()
+        parts.append(re.escape(pattern[last:]))
+        compiled = re.compile("".join(parts))
+        _PATTERN_CACHE[pattern] = compiled
+    return compiled
+
+
+def is_registered(name: str) -> bool:
+    """Whether a concrete stream name matches some registration."""
+    return any(
+        _compile(pattern).fullmatch(name) is not None
+        for pattern in STREAM_REGISTRY
+    )
+
+
 class RandomStreams:
     """A family of independent named random streams.
+
+    With ``strict=True`` every drawn name must match a registered
+    stream (:func:`register_stream`); an unregistered name raises
+    instead of silently forking a new stream.  The default stays
+    permissive so ad-hoc experiments and tests can draw freely.
 
     Examples
     --------
     >>> streams = RandomStreams(seed=42)
-    >>> think = streams.get("think-time")
-    >>> think.expovariate(1.0)  # doctest: +SKIP
+    >>> page_count = streams.get("page-count")
+    >>> page_count.expovariate(1.0)  # doctest: +SKIP
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, strict: bool = False):
         self.seed = seed
+        self.strict = strict
         self._streams: Dict[str, random.Random] = {}
 
     def get(self, name: str) -> random.Random:
         """Return the stream for ``name``, creating it on first use."""
         stream = self._streams.get(name)
         if stream is None:
+            if self.strict and not is_registered(name):
+                raise ValueError(
+                    f"unregistered stream name {name!r}; declare it "
+                    "with repro.sim.streams.register_stream"
+                )
             stream = random.Random(derive_seed(self.seed, name))
             self._streams[name] = stream
         return stream
@@ -83,3 +162,31 @@ class RandomStreams:
                 f"cannot sample {k} distinct items from {population}"
             )
         return self.get(name).sample(range(population), k)
+
+
+# ----------------------------------------------------------------------
+# Canonical stream registrations
+# ----------------------------------------------------------------------
+# Workload generation (core/workload.py).
+register_stream("page-count", "pages touched per transaction")
+register_stream("page-choice", "which pages a transaction touches")
+register_stream("write-coin", "read vs. update coin per access")
+register_stream("inst-per-page", "CPU instructions per page access")
+register_stream("copy-choice", "which replica serves a read")
+register_stream("file-choice", "which partitions FileCount selects")
+register_stream("think-{terminal}", "per-terminal think times")
+# Resource model (core/simulation.py).
+register_stream("disk-service-{node}", "per-node disk service times")
+register_stream("disk-choice-{node}", "per-node disk selection")
+# Transaction restarts (core/transaction_manager.py).
+register_stream("restart-delay", "post-abort restart delay")
+register_stream(
+    "fault-retry-backoff", "2PC retry backoff under faults"
+)
+# Fault injection (faults/schedule.py) — isolated fault-* streams so
+# disabling faults leaves every other sequence bit-identical.
+register_stream("fault-crash-{node}", "per-node crash inter-arrivals")
+register_stream("fault-repair-{node}", "per-node repair durations")
+register_stream("fault-msg-loss", "per-message loss coin")
+register_stream("fault-msg-delay", "per-message delay coin")
+register_stream("fault-msg-delay-time", "extra delay when delayed")

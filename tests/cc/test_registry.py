@@ -45,6 +45,20 @@ def test_all_names_resolvable():
         assert make_algorithm(name).name == name
 
 
+def test_every_algorithm_defines_crash_reset(context):
+    """Regression for the cc-interface lint finding: NO_DC silently
+    inherited the base-class no-op ``crash_reset``.  Every registered
+    algorithm's node manager must define the method itself (a
+    deliberate no-op is fine — it has to be a stated decision)."""
+    from repro.cc.base import NodeCCManager
+
+    for name in ALGORITHM_NAMES:
+        manager = make_algorithm(name).make_node_manager(0, context)
+        assert (
+            type(manager).crash_reset is not NodeCCManager.crash_reset
+        ), f"{name}: crash_reset inherited from NodeCCManager"
+
+
 def test_register_custom_algorithm():
     class Custom(NoDataContention):
         name = "custom-test-algo"

@@ -111,6 +111,183 @@ class TestSelection:
             assert rule_id in out
 
 
+class TestGlobSelection:
+    def test_select_glob_expands_to_matching_rules(
+        self, tree, capsys
+    ):
+        root = tree({"bad.py": DIRTY})
+        # id-keyed-container matches "id-*"; the finding survives.
+        assert run_cli([root, "--no-cache", "--select", "id-*"]) == 1
+        capsys.readouterr()
+
+    def test_ignore_glob_drops_matching_rules(self, tree, capsys):
+        root = tree({"bad.py": DIRTY})
+        code = run_cli([root, "--no-cache", "--ignore", "id-*"])
+        assert code == 0
+        capsys.readouterr()
+
+    def test_unmatched_ignore_pattern_exits_two(self, tree, capsys):
+        root = tree({"a.py": CLEAN})
+        code = run_cli([root, "--no-cache", "--ignore", "zzz-*"])
+        assert code == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_select_can_name_project_rules(self, tree, capsys):
+        root = tree({"a.py": CLEAN})
+        code = run_cli(
+            [root, "--no-cache", "--select", "stream-registry"]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+    def test_list_rules_includes_project_rules_and_severity(
+        self, capsys
+    ):
+        assert run_cli(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in (
+            "stream-registry",
+            "message-handler-protocol",
+            "cc-interface",
+            "waitable-leak",
+        ):
+            assert rule_id in out
+        assert "error" in out
+
+
+class TestSarifFormat:
+    def test_sarif_output_parses_and_exits_one_on_findings(
+        self, tree, capsys
+    ):
+        root = tree({"bad.py": DIRTY})
+        code = run_cli([root, "--no-cache", "--format", "sarif"])
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        results = doc["runs"][0]["results"]
+        assert [r["ruleId"] for r in results] == [
+            "id-keyed-container"
+        ]
+
+
+class TestBaselineFlags:
+    def test_baseline_waives_inventoried_findings(
+        self, tree, tmp_path, capsys
+    ):
+        root = tree({"bad.py": DIRTY})
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "format": 1,
+                    "entries": [
+                        {
+                            "path": "tree/bad.py",
+                            "rule": "id-keyed-container",
+                            "count": 1,
+                            "reason": "legacy, tracked in #42",
+                        }
+                    ],
+                }
+            )
+        )
+        code = run_cli(
+            [root, "--no-cache", "--baseline", baseline]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+    def test_new_finding_fails_despite_baseline(
+        self, tree, tmp_path, capsys
+    ):
+        root = tree({"bad.py": DIRTY + DIRTY})  # two findings
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "format": 1,
+                    "entries": [
+                        {
+                            "path": "tree/bad.py",
+                            "rule": "id-keyed-container",
+                            "count": 1,
+                            "reason": "only one was blessed",
+                        }
+                    ],
+                }
+            )
+        )
+        code = run_cli(
+            [root, "--no-cache", "--baseline", baseline]
+        )
+        assert code == 1
+        capsys.readouterr()
+
+    def test_stale_baseline_entry_fails_run(
+        self, tree, tmp_path, capsys
+    ):
+        root = tree({"a.py": CLEAN})
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "format": 1,
+                    "entries": [
+                        {
+                            "path": "tree/a.py",
+                            "rule": "id-keyed-container",
+                            "count": 1,
+                            "reason": "fixed meanwhile",
+                        }
+                    ],
+                }
+            )
+        )
+        code = run_cli(
+            [root, "--no-cache", "--baseline", baseline]
+        )
+        assert code == 1
+        assert "stale baseline" in capsys.readouterr().out
+
+    def test_corrupt_baseline_exits_two(
+        self, tree, tmp_path, capsys
+    ):
+        root = tree({"a.py": CLEAN})
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{ nope")
+        code = run_cli(
+            [root, "--no-cache", "--baseline", baseline]
+        )
+        assert code == 2
+        assert "baseline" in capsys.readouterr().err
+
+    def test_update_baseline_inventories_findings(
+        self, tree, tmp_path, capsys
+    ):
+        root = tree({"bad.py": DIRTY})
+        baseline = tmp_path / "baseline.json"
+        code = run_cli(
+            [
+                root,
+                "--no-cache",
+                "--baseline",
+                baseline,
+                "--update-baseline",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        entries = json.loads(baseline.read_text())["entries"]
+        assert len(entries) == 1
+        assert entries[0]["rule"] == "id-keyed-container"
+        # And the freshly written baseline makes the tree pass.
+        assert (
+            run_cli([root, "--no-cache", "--baseline", baseline])
+            == 0
+        )
+        capsys.readouterr()
+
+
 class TestCacheFlags:
     def test_cache_file_roundtrip(self, tree, tmp_path, capsys):
         root = tree({"a.py": CLEAN, "bad.py": DIRTY})

@@ -1,12 +1,20 @@
 """Engine tests: discovery, per-file caching, invalidation."""
 
+import importlib.util
 import json
+import sys
+import textwrap
 
 import pytest
 
 from repro.lint.cache import LintCache
 from repro.lint.engine import discover_files, lint_paths
-from repro.lint.registry import all_rules, rules_signature
+from repro.lint.registry import (
+    _SOURCE_HASH_CACHE,
+    all_rules,
+    module_source_hash,
+    rules_signature,
+)
 
 CLEAN = "def fine():\n    return 1\n"
 DIRTY = "jobs[id(event)] = job\n"
@@ -140,3 +148,174 @@ class TestCache:
         assert not report.ok
         # And the rewritten cache is valid JSON again.
         assert json.loads(cache_path.read_text())["entries"]
+
+
+_RULE_MODULE = """
+    from repro.lint.registry import Rule
+
+
+    class TempRule(Rule):
+        rule_id = "temp-pass-statement"
+        summary = "flags every pass statement"
+
+        def check(self, tree, source, path):
+            import ast
+
+            return [
+                self.violation(path, node)
+                for node in ast.walk(tree)
+                if isinstance(node, ast.Pass)
+            ]
+"""
+
+_RULE_MODULE_REFORMATTED = """
+    # A comment, and different spacing — same structure.
+    from repro.lint.registry import Rule
+
+    class TempRule(Rule):
+        rule_id = "temp-pass-statement"
+        summary = "flags every pass statement"
+        def check(self, tree, source, path):
+            import ast
+            return [self.violation(path, node)
+                for node in ast.walk(tree)
+                if isinstance(node, ast.Pass)]
+"""
+
+_RULE_MODULE_EDITED = """
+    from repro.lint.registry import Rule
+
+
+    class TempRule(Rule):
+        rule_id = "temp-pass-statement"
+        summary = "flags every pass statement"
+
+        def check(self, tree, source, path):
+            import ast
+
+            return [
+                self.violation(path, node)
+                for node in ast.walk(tree)
+                if isinstance(node, (ast.Pass, ast.Break))
+            ]
+"""
+
+
+def load_rule(path, module_name="temp_lint_rule"):
+    """Import a rule class from a file the way a plugin would."""
+    spec = importlib.util.spec_from_file_location(module_name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[module_name] = module  # inspect.getfile needs this
+    spec.loader.exec_module(module)
+    return module.TempRule()
+
+
+class TestSourceHashHardening:
+    """Cache keys cover rule *logic*, not rule-module formatting."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_memo_and_modules(self):
+        yield
+        _SOURCE_HASH_CACHE.clear()
+        sys.modules.pop("temp_lint_rule", None)
+
+    def test_whitespace_only_edit_keeps_module_hash(self, tmp_path):
+        path = tmp_path / "rule_module.py"
+        path.write_text(textwrap.dedent(_RULE_MODULE))
+        before = module_source_hash(str(path))
+        _SOURCE_HASH_CACHE.clear()
+        path.write_text(textwrap.dedent(_RULE_MODULE_REFORMATTED))
+        assert module_source_hash(str(path)) == before
+
+    def test_logic_edit_changes_module_hash(self, tmp_path):
+        path = tmp_path / "rule_module.py"
+        path.write_text(textwrap.dedent(_RULE_MODULE))
+        before = module_source_hash(str(path))
+        _SOURCE_HASH_CACHE.clear()
+        path.write_text(textwrap.dedent(_RULE_MODULE_EDITED))
+        assert module_source_hash(str(path)) != before
+
+    def test_rule_logic_edit_busts_cache(self, tmp_path):
+        """Editing a rule's code re-runs analysis even though neither
+        the linted file nor the rule's declared version changed."""
+        rule_path = tmp_path / "rule_module.py"
+        rule_path.write_text(textwrap.dedent(_RULE_MODULE))
+        root = write_tree(
+            tmp_path / "tree", {"a.py": "def f():\n    pass\n"}
+        )
+        cache_path = tmp_path / "cache.json"
+
+        rule = load_rule(rule_path)
+        first = lint_paths(
+            [root], rules=[rule], cache=LintCache(cache_path)
+        )
+        assert first.cache_hits == 0
+        assert len(first.violations) == 1
+
+        rule_path.write_text(textwrap.dedent(_RULE_MODULE_EDITED))
+        _SOURCE_HASH_CACHE.clear()
+        edited = load_rule(rule_path)
+        assert edited.version == rule.version  # only the code moved
+        second = lint_paths(
+            [root], rules=[edited], cache=LintCache(cache_path)
+        )
+        assert second.cache_hits == 0
+
+    def test_whitespace_rule_edit_is_served_from_cache(
+        self, tmp_path
+    ):
+        rule_path = tmp_path / "rule_module.py"
+        rule_path.write_text(textwrap.dedent(_RULE_MODULE))
+        root = write_tree(
+            tmp_path / "tree", {"a.py": "def f():\n    pass\n"}
+        )
+        cache_path = tmp_path / "cache.json"
+
+        rule = load_rule(rule_path)
+        lint_paths([root], rules=[rule], cache=LintCache(cache_path))
+
+        rule_path.write_text(textwrap.dedent(_RULE_MODULE_REFORMATTED))
+        _SOURCE_HASH_CACHE.clear()
+        reformatted = load_rule(rule_path)
+        report = lint_paths(
+            [root],
+            rules=[reformatted],
+            cache=LintCache(cache_path),
+        )
+        assert report.cache_hits == 1
+
+
+class TestParallelFilePass:
+    def test_jobs_two_matches_serial_results(self, tmp_path):
+        root = write_tree(
+            tmp_path / "tree",
+            {
+                "a.py": CLEAN,
+                "bad.py": DIRTY,
+                "c.py": CLEAN,
+                "d.py": DIRTY,
+            },
+        )
+        serial = lint_paths([root], jobs=1)
+        parallel = lint_paths([root], jobs=2)
+        assert [v.as_dict() for v in parallel.violations] == [
+            v.as_dict() for v in serial.violations
+        ]
+        assert parallel.files == serial.files == 4
+
+    def test_parallel_results_populate_cache(self, tmp_path):
+        root = write_tree(
+            tmp_path / "tree", {"a.py": CLEAN, "bad.py": DIRTY}
+        )
+        cache_path = tmp_path / "cache.json"
+        lint_paths([root], cache=LintCache(cache_path), jobs=2)
+        warm = lint_paths([root], cache=LintCache(cache_path))
+        assert warm.cache_hits == 2
+
+    def test_bad_jobs_values_rejected(self, tmp_path, monkeypatch):
+        root = write_tree(tmp_path / "tree", {"a.py": CLEAN})
+        with pytest.raises(ValueError):
+            lint_paths([root], jobs=0)
+        monkeypatch.setenv("REPRO_LINT_JOBS", "banana")
+        with pytest.raises(ValueError):
+            lint_paths([root])

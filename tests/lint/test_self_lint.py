@@ -6,6 +6,7 @@ violations, and injecting any rule's positive fixture must break that
 state (proving the gate actually bites).
 """
 
+import json
 from pathlib import Path
 
 from repro.lint.engine import lint_paths
@@ -53,3 +54,42 @@ def test_injected_fixture_breaks_the_gate(tmp_path):
     assert [v.rule_id for v in report.active] == [
         "unordered-set-iteration"
     ]
+
+
+def test_injected_stream_typo_breaks_the_project_gate(tmp_path):
+    """Whole-program gate: a misspelled stream name in a new module
+    is caught against the real registry in ``sim/streams.py``."""
+    staged = tmp_path / "src" / "repro" / "core" / "newcode.py"
+    staged.parent.mkdir(parents=True)
+    staged.write_text(
+        "def setup(streams):\n"
+        "    return streams.get('page-cuont')\n"
+    )
+    report = lint_paths(
+        [REPO_ROOT / tree for tree in LINTED_TREES]
+        + [tmp_path / "src"]
+    )
+    assert not report.ok
+    assert [v.rule_id for v in report.active] == ["stream-registry"]
+
+
+def test_cli_sarif_with_committed_baseline_exits_zero(capsys):
+    """The acceptance command: SARIF over the full tree against the
+    committed baseline, with all project rules present in the run."""
+    from repro.lint.cli import main
+
+    code = main(
+        [str(REPO_ROOT / tree) for tree in LINTED_TREES]
+        + ["--no-cache", "--format", "sarif"]
+    )
+    assert code == 0
+    doc = json.loads(capsys.readouterr().out)
+    rule_ids = {
+        d["id"] for d in doc["runs"][0]["tool"]["driver"]["rules"]
+    }
+    assert {
+        "stream-registry",
+        "message-handler-protocol",
+        "cc-interface",
+        "waitable-leak",
+    } <= rule_ids
