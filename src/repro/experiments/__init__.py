@@ -8,10 +8,12 @@ of them take a :class:`~repro.experiments.fidelity.Fidelity` and return
 The :mod:`~repro.experiments.runner` memoizes simulation runs within the
 process, so the figures that share a sweep (2-7 share one, 8-13 share
 another) pay for it once.  Independent grid points additionally fan out
-over a process pool (``--jobs N`` / ``$REPRO_JOBS``, default
-``os.cpu_count()``), and an optional on-disk result cache
+in chunks over a session-persistent worker pool (``--jobs N`` /
+``$REPRO_JOBS``, default ``os.cpu_count()``; chunk size ``--chunk`` /
+``$REPRO_CHUNK``), and an optional on-disk result cache
 (:mod:`~repro.experiments.result_cache`) persists finished points
-across sessions.
+across sessions, keyed so only sim-relevant source changes invalidate
+them.
 
 Command line::
 
@@ -29,6 +31,7 @@ from repro.experiments.runner import (
     cache_stats,
     clear_cache,
     configure,
+    resolve_chunk_size,
     resolve_jobs,
     run_config,
     run_many,
@@ -43,6 +46,7 @@ __all__ = [
     "clear_cache",
     "configure",
     "get_experiment",
+    "resolve_chunk_size",
     "resolve_jobs",
     "run_config",
     "run_many",

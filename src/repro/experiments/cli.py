@@ -5,15 +5,20 @@ Examples::
     python -m repro.experiments list
     python -m repro.experiments run fig2 --fidelity smoke
     python -m repro.experiments run all --fidelity full --out results/
-    python -m repro.experiments run fig9 --jobs 4
+    python -m repro.experiments run fig9 --jobs 4 --chunk 2
     python -m repro.experiments cache stats
+    python -m repro.experiments cache prune
     python -m repro.experiments cache clear
 
-``run`` fans independent sweep points out over ``--jobs`` worker
-processes (default ``$REPRO_JOBS``, else all cores) and persists
-finished simulations under ``results/.cache/`` (``$REPRO_CACHE_DIR``
-overrides the location; ``--no-cache`` or ``REPRO_CACHE=off`` disables
-persistence), so a re-run only simulates missing points.
+``run`` fans independent sweep points out in chunks over ``--jobs``
+persistent worker processes (default ``$REPRO_JOBS``, else all cores;
+chunk size ``--chunk`` / ``$REPRO_CHUNK``, default computed) and
+persists finished simulations under ``results/.cache/``
+(``$REPRO_CACHE_DIR`` overrides the location; ``--no-cache`` or
+``REPRO_CACHE=off`` disables persistence), so a re-run only simulates
+missing points.  Cache keys track the sim-relevant source content, so
+only code changes that can affect results invalidate entries;
+``cache prune`` reclaims the invalidated ones.
 """
 
 from __future__ import annotations
@@ -31,7 +36,11 @@ from repro.experiments import runner
 from repro.experiments.export import write_figures
 from repro.experiments.fidelity import Fidelity
 from repro.experiments.registry import EXPERIMENTS, get_experiment
-from repro.experiments.result_cache import ResultCache, default_cache_dir
+from repro.experiments.result_cache import (
+    ResultCache,
+    default_cache_dir,
+    source_fingerprint,
+)
 
 __all__ = ["main"]
 
@@ -100,17 +109,29 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_parser.add_argument(
+        "--chunk",
+        type=_positive_int,
+        default=None,
+        help=(
+            "grid points per worker chunk "
+            "(default: $REPRO_CHUNK or ceil(missing / (jobs * 4)))"
+        ),
+    )
+    run_parser.add_argument(
         "--no-cache",
         action="store_true",
         help="do not read or write the persistent result cache",
     )
     cache_parser = subparsers.add_parser(
-        "cache", help="inspect or clear the persistent result cache"
+        "cache", help="inspect or maintain the persistent result cache"
     )
     cache_parser.add_argument(
         "verb",
-        choices=("stats", "clear"),
-        help="'stats' reports entries/bytes; 'clear' deletes entries",
+        choices=("stats", "prune", "clear"),
+        help=(
+            "'stats' reports entries/bytes/freshness; 'prune' deletes "
+            "entries invalidated by code changes; 'clear' deletes all"
+        ),
     )
     simulate_parser = subparsers.add_parser(
         "simulate",
@@ -227,16 +248,25 @@ def _cache_enabled(arguments) -> bool:
 
 
 def _run_cache_command(verb: str) -> int:
-    """The ``cache`` subcommand: inspect or clear the disk cache."""
+    """The ``cache`` subcommand: inspect or maintain the disk cache."""
     cache = ResultCache(default_cache_dir())
     if verb == "clear":
         removed = cache.clear()
         print(f"cache clear: removed {removed} entries "
               f"from {cache.directory}")
         return 0
+    if verb == "prune":
+        removed = cache.prune()
+        print(f"cache prune: removed {removed} stale entries "
+              f"from {cache.directory}")
+        return 0
+    census = cache.source_census()
     print(f"cache dir      {cache.directory}")
     print(f"entries        {cache.entry_count()}")
     print(f"size           {cache.size_bytes()} bytes")
+    print(f"source         {source_fingerprint()}")
+    print(f"fresh          {census['fresh']}")
+    print(f"stale          {census['stale']}  (reclaim: cache prune)")
     return 0
 
 
@@ -258,6 +288,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 default_cache_dir() if _cache_enabled(arguments)
                 else None
             ),
+            chunk=arguments.chunk,
         )
     except ValueError as error:
         print(f"repro-experiments run: error: {error}", file=sys.stderr)

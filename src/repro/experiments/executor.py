@@ -2,42 +2,81 @@
 
 Every point in a figure sweep is an independent simulation of one
 frozen :class:`~repro.core.config.SimulationConfig`, which makes sweeps
-embarrassingly parallel: the executor fans missing points out over a
-``concurrent.futures`` process pool and assembles results in input
-order, so a parallel sweep is bit-identical to a serial one (each
-simulation is a pure function of its config, seed included).
+embarrassingly parallel.  The executor partitions missing points into
+contention-free chunks up front (the same move DGCC makes on
+transaction batches), fans them out over the session-persistent worker
+pool (:mod:`~repro.experiments.worker_pool` — spawned once, reused by
+every batch, torn down atexit), and assembles results in input order,
+so a parallel sweep is bit-identical to a serial one (each simulation
+is a pure function of its config, seed included).
+
+Scheduling is work-stealing in completion order: at most ``jobs``
+chunks are in flight at once, and a worker that finishes its chunk is
+immediately handed the next one, so a slow grid point never idles the
+rest of the pool behind an in-order collection barrier.  Chunk size
+defaults to ``ceil(missing / (jobs * 4))`` — small enough to balance,
+large enough to amortize per-task dispatch — and can be pinned with
+``$REPRO_CHUNK`` / the executor's ``chunk`` knob.
+
+Results travel back as **compressed cache-codec payloads**, not
+pickled ``SimulationResult`` graphs: workers serialize each result
+through :func:`~repro.experiments.result_cache.encode_result`,
+zlib-compress the chunk's payloads into one blob (and, when a disk
+cache is attached, write the entries into the shared cache directory
+themselves), so the parent unpickles nothing deeper than ``bytes``
+and the measured bytes-over-IPC shrink accordingly
+(``ExecutorStats.ipc_bytes``; the parallel benchmark records them
+next to what the pickled transport would have sent).
 
 Result reuse is layered:
 
 1. an in-memory memo (one entry per distinct config, per process) —
    the figures that share a sweep pay for it once;
 2. an optional persistent :class:`~repro.experiments.result_cache.
-   ResultCache` so interrupted or repeated sessions only simulate
-   missing points.
+   ResultCache` whose keys compose the schema version with a content
+   hash of the sim-relevant sources, so only code changes that can
+   affect results dirty entries.
 
 ``jobs=1`` preserves the fully serial in-process path (no pool, no
-pickling); ``jobs=None`` resolves ``$REPRO_JOBS`` and falls back to
-``os.cpu_count()``.
+serialization); ``jobs=None`` resolves ``$REPRO_JOBS`` and falls back
+to ``os.cpu_count()``.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import json
+import math
 import os
+import time
+import zlib
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import SimulationConfig
 from repro.core.metrics import SimulationResult
 from repro.core.simulation import Simulation
-from repro.experiments.result_cache import ResultCache
+import repro.experiments.worker_pool as worker_pool
+from repro.experiments.result_cache import (
+    ResultCache,
+    decode_result,
+    encode_result,
+)
 
 __all__ = [
     "ExecutorStats",
     "SweepExecutionError",
     "SweepExecutor",
+    "resolve_chunk_size",
     "resolve_jobs",
 ]
+
+#: Chunks per worker when no explicit chunk size is given: enough
+#: slack for work-stealing to even out unequal point costs without
+#: paying per-point dispatch.
+OVERSUBSCRIBE = 4
 
 
 class SweepExecutionError(RuntimeError):
@@ -73,9 +112,90 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return jobs
 
 
+def resolve_chunk_size(
+    missing: int, jobs: int, chunk: Optional[int] = None
+) -> int:
+    """Points per chunk: explicit > ``$REPRO_CHUNK`` > computed.
+
+    The computed default splits the batch into ``jobs *``
+    :data:`OVERSUBSCRIBE` chunks (rounded up), clamped to at least one
+    point per chunk.
+    """
+    if chunk is None:
+        env = os.environ.get("REPRO_CHUNK", "").strip()
+        if env:
+            try:
+                chunk = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_CHUNK must be a positive integer, got {env!r}"
+                ) from None
+    if chunk is not None:
+        if chunk < 1:
+            raise ValueError(f"chunk must be >= 1, got {chunk}")
+        return chunk
+    return max(1, math.ceil(missing / (jobs * OVERSUBSCRIBE)))
+
+
 def _simulate(config: SimulationConfig) -> SimulationResult:
     """Run one simulation; module-level so pool workers can pickle it."""
     return Simulation(config).run()
+
+
+class _ChunkPointError(Exception):
+    """A worker-side failure, tagged with its offset inside the chunk.
+
+    Pickles across the pool boundary so the parent can recover which
+    config failed and re-raise a :class:`SweepExecutionError`.
+    """
+
+    def __init__(self, offset: int, cause: BaseException):
+        super().__init__(offset, cause)
+        self.offset = offset
+        self.cause = cause
+
+    def __reduce__(self):
+        return (type(self), (self.offset, self.cause))
+
+
+def _pack_payloads(payloads: List[str]) -> bytes:
+    """Chunk transport format: zlib over the JSON list of payloads."""
+    return zlib.compress(json.dumps(payloads).encode("utf-8"))
+
+
+def _unpack_payloads(blob: bytes) -> List[str]:
+    """Inverse of :func:`_pack_payloads`."""
+    return json.loads(zlib.decompress(blob).decode("utf-8"))
+
+
+def _run_chunk(
+    index: int,
+    configs: Sequence[SimulationConfig],
+    cache_dir: Optional[str],
+) -> Tuple[int, bytes, Dict[str, float]]:
+    """Worker side: simulate one chunk, return packed payloads + stats.
+
+    When the parent has a disk cache attached the worker writes each
+    finished entry directly into the shared cache directory (atomic
+    ``os.replace`` writes make concurrent writers safe), so progress
+    persists even if the sweep is interrupted before assembly.
+    """
+    cache = ResultCache(Path(cache_dir)) if cache_dir else None
+    payloads: List[str] = []
+    started = time.perf_counter()
+    for offset, config in enumerate(configs):
+        try:
+            result = _simulate(config)
+        except Exception as cause:
+            raise _ChunkPointError(offset, cause) from cause
+        payloads.append(encode_result(result))
+        if cache is not None:
+            cache.put(config, result)
+    stats = {
+        "pid": float(os.getpid()),
+        "compute_seconds": time.perf_counter() - started,
+    }
+    return index, _pack_payloads(payloads), stats
 
 
 @dataclass
@@ -85,18 +205,41 @@ class ExecutorStats:
     simulated: int = 0
     memo_hits: int = 0
     disk_hits: int = 0
+    #: Pool accounting (zero on the serial path).
+    pool_batches: int = 0
+    chunks_dispatched: int = 0
+    chunks_cancelled: int = 0
+    #: Result-transport bytes received from workers (codec strings).
+    ipc_bytes: int = 0
+    #: Wall time spent inside pool dispatch, and the portion of it the
+    #: workers report as pure simulation; their difference bounds the
+    #: coordination overhead on a single-CPU host.
+    pool_wall_seconds: float = 0.0
+    worker_compute_seconds: float = 0.0
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> Dict[str, object]:
         return {
             "simulated": self.simulated,
             "memo_hits": self.memo_hits,
             "disk_hits": self.disk_hits,
+            "pool_batches": self.pool_batches,
+            "chunks_dispatched": self.chunks_dispatched,
+            "chunks_cancelled": self.chunks_cancelled,
+            "ipc_bytes": self.ipc_bytes,
+            "pool_wall_seconds": self.pool_wall_seconds,
+            "worker_compute_seconds": self.worker_compute_seconds,
         }
 
     def reset(self) -> None:
         self.simulated = 0
         self.memo_hits = 0
         self.disk_hits = 0
+        self.pool_batches = 0
+        self.chunks_dispatched = 0
+        self.chunks_cancelled = 0
+        self.ipc_bytes = 0
+        self.pool_wall_seconds = 0.0
+        self.worker_compute_seconds = 0.0
 
 
 class SweepExecutor:
@@ -106,11 +249,17 @@ class SweepExecutor:
         self,
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
+        chunk: Optional[int] = None,
     ):
         #: ``None`` defers to :func:`resolve_jobs` at each batch.
         self.jobs = jobs
         self.cache = cache
+        #: ``None`` defers to :func:`resolve_chunk_size` at each batch.
+        self.chunk = chunk
         self.stats = ExecutorStats()
+        #: PIDs observed serving this executor's chunks; together with
+        #: :func:`worker_pool.pool_generation` this proves pool reuse.
+        self.worker_pids: Set[int] = set()
         self._memo: Dict[SimulationConfig, SimulationResult] = {}
 
     # ------------------------------------------------------------------
@@ -163,18 +312,25 @@ class SweepExecutor:
         """Run a batch of configs; results are in input order.
 
         Cached points are served from the memo/disk layers; the missing
-        remainder is deduplicated and fanned out over a process pool
-        when more than one distinct point is missing and ``jobs > 1``.
-        Worker failures raise :class:`SweepExecutionError` immediately
-        rather than yielding a partial grid.
+        remainder is deduplicated and fanned out in chunks over the
+        persistent worker pool when more than one distinct point is
+        missing and ``jobs > 1``.  The first worker failure cancels
+        every chunk not yet running and raises
+        :class:`SweepExecutionError` rather than yielding a partial
+        grid.
         """
         jobs = resolve_jobs(self.jobs if jobs is None else jobs)
         missing: List[SimulationConfig] = []
+        missing_set: Set[SimulationConfig] = set()
         for config in configs:
-            if self._lookup(config) is None and config not in missing:
+            if (
+                self._lookup(config) is None
+                and config not in missing_set
+            ):
                 # Validate up front so bad configs fail in the caller,
                 # with a normal traceback, not inside a worker.
                 config.validate()
+                missing_set.add(config)
                 missing.append(config)
         if missing:
             if jobs > 1 and len(missing) > 1:
@@ -196,19 +352,97 @@ class SweepExecutor:
     def _run_pool(
         self, missing: List[SimulationConfig], jobs: int
     ) -> None:
-        workers = min(jobs, len(missing))
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=workers
-        ) as pool:
-            futures = [
-                pool.submit(_simulate, config) for config in missing
-            ]
-            for config, future in zip(missing, futures):
+        chunk_size = resolve_chunk_size(
+            len(missing), jobs, self.chunk
+        )
+        chunks = [
+            missing[start:start + chunk_size]
+            for start in range(0, len(missing), chunk_size)
+        ]
+        cache_dir = (
+            str(self.cache.directory) if self.cache is not None else None
+        )
+        pool = worker_pool.get_pool(jobs)
+        self.stats.pool_batches += 1
+        started = time.perf_counter()
+        pending: Dict[concurrent.futures.Future, int] = {}
+        next_chunk = 0
+        failure: Optional[
+            Tuple[SimulationConfig, BaseException]
+        ] = None
+        broken_pool = False
+        while failure is None and (
+            next_chunk < len(chunks) or pending
+        ):
+            # Keep exactly ``jobs`` chunks in flight: a finishing
+            # worker steals the next chunk, and a pool larger than
+            # ``jobs`` (grown by an earlier batch) is not over-driven.
+            while next_chunk < len(chunks) and len(pending) < jobs:
+                future = pool.submit(
+                    _run_chunk,
+                    next_chunk,
+                    chunks[next_chunk],
+                    cache_dir,
+                )
+                pending[future] = next_chunk
+                next_chunk += 1
+                self.stats.chunks_dispatched += 1
+            done, _ = concurrent.futures.wait(
+                pending,
+                return_when=concurrent.futures.FIRST_COMPLETED,
+            )
+            for future in sorted(done, key=pending.__getitem__):
+                index = pending.pop(future)
                 try:
-                    result = future.result()
+                    _, blob, chunk_stats = future.result()
+                except _ChunkPointError as error:
+                    failure = (
+                        chunks[index][error.offset], error.cause
+                    )
+                    break
+                except BrokenProcessPool as cause:
+                    failure = (chunks[index][0], cause)
+                    broken_pool = True
+                    break
                 except Exception as cause:
-                    raise SweepExecutionError(config, cause) from cause
-                self._store(config, result)
+                    failure = (chunks[index][0], cause)
+                    break
+                self._absorb_chunk(chunks[index], blob, chunk_stats)
+        if failure is not None:
+            # Cancel what never started; running chunks are left to
+            # finish (their results are simply discarded) because a
+            # ProcessPoolExecutor cannot interrupt a live worker.
+            for future in pending:
+                if future.cancel():
+                    self.stats.chunks_cancelled += 1
+            self.stats.chunks_cancelled += len(chunks) - next_chunk
+            self.stats.pool_wall_seconds += (
+                time.perf_counter() - started
+            )
+            if broken_pool:
+                worker_pool.discard_pool()
+            config, cause = failure
+            raise SweepExecutionError(config, cause) from cause
+        self.stats.pool_wall_seconds += time.perf_counter() - started
+
+    def _absorb_chunk(
+        self,
+        chunk: List[SimulationConfig],
+        blob: bytes,
+        chunk_stats: Dict[str, float],
+    ) -> None:
+        """Decode one finished chunk into the memo (and counters)."""
+        self.stats.ipc_bytes += len(blob)
+        for config, payload in zip(chunk, _unpack_payloads(blob)):
+            result = decode_result(payload)
+            self._memo[config] = result
+            self.stats.simulated += 1
+            # The worker already wrote the disk entry; storing again
+            # from the parent would double the write traffic.
+        self.worker_pids.add(int(chunk_stats["pid"]))
+        self.stats.worker_compute_seconds += chunk_stats[
+            "compute_seconds"
+        ]
 
     # ------------------------------------------------------------------
     # Maintenance

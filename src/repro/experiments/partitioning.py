@@ -28,7 +28,7 @@ from repro.core.config import (
 )
 from repro.core.metrics import SimulationResult
 from repro.experiments.fidelity import Fidelity
-from repro.experiments.runner import sweep
+from repro.experiments.runner import run_many, sweep
 from repro.experiments.scaling import ALGORITHMS
 
 __all__ = [
@@ -42,6 +42,7 @@ __all__ = [
     "figure13",
     "partitioning_config",
     "partitioning_sweep",
+    "partitioning_sweeps",
 ]
 
 SMALL_DB_PAGES = 300
@@ -88,6 +89,43 @@ def partitioning_sweep(
     )
 
 
+def partitioning_sweeps(
+    fidelity: Fidelity,
+    degrees: Tuple[int, ...],
+    pages_per_partition: int,
+) -> List[SweepResults]:
+    """Sweeps at several placements, batched as one dispatch.
+
+    Submitting the union grid to ``run_many`` in one call keeps the
+    worker pool saturated across the placement boundary instead of
+    paying one fan-out barrier per degree.
+    """
+    grid = [
+        (algorithm, think_time)
+        for algorithm in ALGORITHMS
+        for think_time in fidelity.think_times
+    ]
+    results = run_many(
+        [
+            partitioning_config(
+                fidelity, algorithm, think_time, degree,
+                pages_per_partition,
+            )
+            for degree in degrees
+            for algorithm, think_time in grid
+        ]
+    )
+    return [
+        dict(
+            zip(
+                grid,
+                results[index * len(grid):(index + 1) * len(grid)],
+            )
+        )
+        for index in range(len(degrees))
+    ]
+
+
 def _collect(
     fidelity: Fidelity, results: SweepResults, metric: str
 ) -> Dict[str, List[float]]:
@@ -103,8 +141,7 @@ def _collect(
 def _partition_speedup(
     fidelity: Fidelity, pages: int, title: str
 ) -> FigureSeries:
-    one_way = partitioning_sweep(fidelity, 1, pages)
-    eight_way = partitioning_sweep(fidelity, 8, pages)
+    one_way, eight_way = partitioning_sweeps(fidelity, (1, 8), pages)
     rt_one = _collect(fidelity, one_way, "mean_response_time")
     rt_eight = _collect(fidelity, eight_way, "mean_response_time")
     series = FigureSeries(

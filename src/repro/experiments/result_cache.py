@@ -12,10 +12,17 @@ Key properties:
   canonical JSON rendering of the config dataclasses (sorted dict keys,
   enums by value), not from Python ``hash()``, so it is identical
   across interpreter invocations and machines.
-* **Explicit invalidation.**  Bumping :data:`SCHEMA_VERSION` (done
-  whenever the simulator's behaviour changes) changes every digest, so
-  stale results are never served.  ``python -m repro.experiments cache
-  clear`` removes entries by hand.
+* **Incremental invalidation.**  The digest composes
+  :data:`SCHEMA_VERSION` with :func:`source_fingerprint`, a content
+  hash of the simulation-relevant source packages (``sim/``, ``cc/``,
+  ``core/``).  Editing any of those files dirties every entry
+  automatically — no manual version bump needed — while an
+  experiment-layer-only edit (``experiments/``, ``analysis/``,
+  ``lint/``) leaves the whole cache warm.  ``SCHEMA_VERSION`` remains
+  for changes the fingerprint cannot see (entry codec shape).
+  ``python -m repro.experiments cache prune`` drops entries whose
+  fingerprint component went stale; ``cache clear`` removes
+  everything.
 * **Corruption tolerance.**  Unreadable or truncated entries are
   treated as misses and deleted; the point is simply recomputed.
 * **Atomic writes.**  Entries are written to a temp file and
@@ -38,18 +45,71 @@ from repro.core.metrics import SimulationResult
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SIM_SOURCE_PACKAGES",
     "CacheStats",
     "ResultCache",
     "config_digest",
+    "decode_result",
     "default_cache_dir",
+    "encode_result",
+    "source_fingerprint",
 ]
 
-#: Bump whenever simulation behaviour changes in a way that makes old
-#: cached results wrong (kernel scheduling changes, model fixes, new
-#: result fields).  Any bump invalidates the entire cache.
+#: Bump only for changes the source fingerprint cannot observe — the
+#: shape of the entry/digest payload itself.  Behavioural changes to
+#: the simulator dirty the cache automatically through
+#: :func:`source_fingerprint`.
 #: 3: lock release order made explicitly deterministic (sorted PageId
 #:    grant passes) instead of set-iteration order.
-SCHEMA_VERSION = 3
+#: 4: digest composes the source fingerprint; entries record it.
+SCHEMA_VERSION = 4
+
+#: Packages (under ``src/repro/``) whose source content determines
+#: simulation output, and therefore participates in every cache key.
+#: Experiment/analysis/lint code only *consumes* results, so edits
+#: there never invalidate entries.
+SIM_SOURCE_PACKAGES = ("sim", "cc", "core")
+
+#: Memoized per process; every config_digest call reuses it.
+_FINGERPRINT: Optional[str] = None
+
+
+def source_fingerprint(root: Optional[Path] = None) -> str:
+    """Content hash of the simulation-relevant source tree.
+
+    Hashes every ``*.py`` file under :data:`SIM_SOURCE_PACKAGES`
+    (sorted by relative path, so the digest is directory-order
+    independent) below ``root`` — by default the installed ``repro``
+    package directory.  The default result is memoized for the life of
+    the process: sources do not change under a running sweep, and pool
+    workers inherit or recompute the same value.
+    """
+    global _FINGERPRINT
+    if root is None and _FINGERPRINT is not None:
+        return _FINGERPRINT
+    base = root
+    if base is None:
+        import repro
+
+        base = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for package in SIM_SOURCE_PACKAGES:
+        package_dir = base / package
+        if not package_dir.is_dir():
+            continue
+        for path in sorted(package_dir.rglob("*.py")):
+            relative = path.relative_to(base).as_posix()
+            digest.update(relative.encode("utf-8"))
+            digest.update(b"\0")
+            try:
+                digest.update(path.read_bytes())
+            except OSError:
+                continue
+            digest.update(b"\0")
+    fingerprint = digest.hexdigest()[:16]
+    if root is None:
+        _FINGERPRINT = fingerprint
+    return fingerprint
 
 #: Default location, relative to the current working directory, used by
 #: the CLI and benchmarks; overridable via ``$REPRO_CACHE_DIR``.
@@ -86,9 +146,11 @@ def _jsonable(value: Any) -> Any:
 
 
 def config_digest(config: SimulationConfig) -> str:
-    """Stable SHA-256 content hash of ``config`` plus the schema stamp."""
+    """Stable SHA-256 content hash of ``config`` plus the composed
+    invalidation key (schema stamp + source fingerprint)."""
     payload = {
         "schema": SCHEMA_VERSION,
+        "source": source_fingerprint(),
         "type": type(config).__name__,
         "config": _jsonable(config),
     }
@@ -96,6 +158,26 @@ def config_digest(config: SimulationConfig) -> str:
         payload, sort_keys=True, separators=(",", ":")
     )
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def encode_result(result: SimulationResult) -> str:
+    """Render a result through the cache codec (compact JSON).
+
+    This doubles as the executor's IPC transport format: pool workers
+    return these strings instead of pickled ``SimulationResult``
+    object graphs, so the parent never unpickles anything deeper than
+    ``str``.
+    """
+    return json.dumps(
+        dataclasses.asdict(result),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def decode_result(text: str) -> SimulationResult:
+    """Inverse of :func:`encode_result`; raises on shape mismatch."""
+    return _result_from_payload(json.loads(text))
 
 
 @dataclasses.dataclass
@@ -137,6 +219,8 @@ class ResultCache:
             entry = json.loads(raw)
             if entry.get("schema") != SCHEMA_VERSION:
                 raise ValueError("schema mismatch")
+            if entry.get("source") != source_fingerprint():
+                raise ValueError("source fingerprint mismatch")
             result = _result_from_payload(entry["result"])
         except (KeyError, TypeError, ValueError):
             self._evict(path)
@@ -150,6 +234,7 @@ class ResultCache:
         digest = config_digest(config)
         entry = {
             "schema": SCHEMA_VERSION,
+            "source": source_fingerprint(),
             "digest": digest,
             "label": config.label(),
             "result": dataclasses.asdict(result),
@@ -174,6 +259,58 @@ class ResultCache:
         except OSError:
             pass
         self.stats.evictions += 1
+
+    def prune(self) -> int:
+        """Drop entries with a stale invalidation key; returns count.
+
+        Incremental invalidation never *overwrites* stale entries —
+        their digests simply stop matching — so a long-lived cache
+        directory accumulates dead files across code changes.  Prune
+        removes every entry whose schema stamp or source-fingerprint
+        component no longer matches the running code (unreadable
+        entries are removed too).
+        """
+        current = source_fingerprint()
+        removed = 0
+        for path in self._entry_paths():
+            stale = False
+            try:
+                entry = json.loads(path.read_text(encoding="utf-8"))
+                stale = (
+                    entry.get("schema") != SCHEMA_VERSION
+                    or entry.get("source") != current
+                )
+            except (OSError, ValueError):
+                stale = True
+            if stale:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def source_census(self) -> Dict[str, int]:
+        """Entry counts by freshness: how much did the last edit dirty?
+
+        ``{"fresh": n, "stale": m}`` — fresh entries match the running
+        code's composed key; stale ones (old fingerprint, old schema,
+        or unreadable) would be recomputed by the next sweep and can
+        be reclaimed with :meth:`prune`.
+        """
+        current = source_fingerprint()
+        census = {"fresh": 0, "stale": 0}
+        for path in self._entry_paths():
+            try:
+                entry = json.loads(path.read_text(encoding="utf-8"))
+                fresh = (
+                    entry.get("schema") == SCHEMA_VERSION
+                    and entry.get("source") == current
+                )
+            except (OSError, ValueError):
+                fresh = False
+            census["fresh" if fresh else "stale"] += 1
+        return census
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""

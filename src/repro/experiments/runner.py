@@ -9,10 +9,14 @@ therefore hashable, so the memo key is the configuration itself.
 On top of the per-process memo, two opt-in layers:
 
 * **Parallelism** — ``sweep``/``run_many`` fan missing grid points out
-  over a process pool.  The worker count comes from an explicit
-  ``jobs`` argument, else ``$REPRO_JOBS``, else ``os.cpu_count()``;
-  ``jobs=1`` is today's fully serial path.  Parallel results are
-  assembled deterministically and are bit-identical to serial runs.
+  in chunks over the session-persistent worker pool
+  (:mod:`~repro.experiments.worker_pool`: spawned once, reused by
+  every batch).  The worker count comes from an explicit ``jobs``
+  argument, else ``$REPRO_JOBS``, else ``os.cpu_count()``; chunk size
+  from ``configure(chunk=...)``, else ``$REPRO_CHUNK``, else
+  ``ceil(missing / (jobs * 4))``.  ``jobs=1`` is the fully serial
+  path.  Parallel results are assembled deterministically and are
+  bit-identical to serial runs.
 * **Persistence** — ``configure(cache_dir=...)`` attaches an on-disk
   :class:`~repro.experiments.result_cache.ResultCache` (the CLI and
   benchmarks point it at ``results/.cache``), so re-running a sweep
@@ -40,6 +44,7 @@ from repro.core.simulation import Simulation  # noqa: F401 - legacy seam
 from repro.experiments.executor import (
     SweepExecutionError,
     SweepExecutor,
+    resolve_chunk_size,
     resolve_jobs,
 )
 from repro.experiments.result_cache import ResultCache
@@ -50,6 +55,7 @@ __all__ = [
     "clear_cache",
     "configure",
     "get_executor",
+    "resolve_chunk_size",
     "resolve_jobs",
     "run_config",
     "run_many",
@@ -69,14 +75,20 @@ def get_executor() -> SweepExecutor:
 def configure(
     jobs: Optional[int] = None,
     cache_dir: Union[Path, str, None] = None,
+    chunk: Optional[int] = None,
 ) -> SweepExecutor:
-    """Set the default executor's worker count and/or disk cache.
+    """Set the default executor's workers, disk cache, and chunking.
 
     ``jobs=None`` keeps per-call resolution (``$REPRO_JOBS`` /
-    cpu count); ``cache_dir=None`` detaches any disk cache.
+    cpu count); ``cache_dir=None`` detaches any disk cache;
+    ``chunk=None`` keeps per-batch resolution (``$REPRO_CHUNK`` /
+    computed size).
     """
     resolve_jobs(jobs)  # validate now, including a bad $REPRO_JOBS
+    if chunk is not None and chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
     _EXECUTOR.jobs = jobs
+    _EXECUTOR.chunk = chunk
     if cache_dir is None:
         _EXECUTOR.cache = None
     else:

@@ -27,7 +27,7 @@ from repro.core.config import (
 )
 from repro.core.metrics import SimulationResult
 from repro.experiments.fidelity import Fidelity
-from repro.experiments.runner import sweep
+from repro.experiments.runner import run_many, sweep
 
 __all__ = [
     "ALGORITHMS",
@@ -39,6 +39,7 @@ __all__ = [
     "figure7",
     "scaling_config",
     "scaling_sweep",
+    "scaling_sweeps",
     "scaling_speedups_4node",
     "scaling_speedups_16node",
 ]
@@ -87,6 +88,39 @@ def scaling_sweep(
     )
 
 
+def scaling_sweeps(
+    fidelity: Fidelity, node_counts: Tuple[int, ...]
+) -> List[SweepResults]:
+    """Sweeps at several machine sizes, batched as one dispatch.
+
+    The figure-pair functions below all need the same grid at two
+    sizes; submitting the union to ``run_many`` in one call keeps the
+    worker pool saturated across the size boundary instead of paying
+    two fan-out barriers (the memo then serves the per-size slices).
+    """
+    grid = [
+        (algorithm, think_time)
+        for algorithm in ALGORITHMS
+        for think_time in fidelity.think_times
+    ]
+    results = run_many(
+        [
+            scaling_config(fidelity, algorithm, think_time, num_nodes)
+            for num_nodes in node_counts
+            for algorithm, think_time in grid
+        ]
+    )
+    return [
+        dict(
+            zip(
+                grid,
+                results[size * len(grid):(size + 1) * len(grid)],
+            )
+        )
+        for size in range(len(node_counts))
+    ]
+
+
 def _metric_series(
     fidelity: Fidelity,
     results: SweepResults,
@@ -113,8 +147,7 @@ def _metric_series(
 
 def figure2(fidelity: Fidelity) -> List[FigureSeries]:
     """Throughput vs think time, 1-node and 8-node systems."""
-    one = scaling_sweep(fidelity, 1)
-    eight = scaling_sweep(fidelity, 8)
+    one, eight = scaling_sweeps(fidelity, (1, 8))
     return [
         _metric_series(
             fidelity, one, "throughput",
@@ -131,8 +164,7 @@ def figure2(fidelity: Fidelity) -> List[FigureSeries]:
 
 def figure3(fidelity: Fidelity) -> List[FigureSeries]:
     """Response time vs think time, 1-node and 8-node systems."""
-    one = scaling_sweep(fidelity, 1)
-    eight = scaling_sweep(fidelity, 8)
+    one, eight = scaling_sweeps(fidelity, (1, 8))
     return [
         _metric_series(
             fidelity, one, "mean_response_time",
@@ -187,8 +219,7 @@ def _speedup_series(
 
 def figure4(fidelity: Fidelity) -> List[FigureSeries]:
     """8-node/1-node throughput speedup vs think time."""
-    one = scaling_sweep(fidelity, 1)
-    eight = scaling_sweep(fidelity, 8)
+    one, eight = scaling_sweeps(fidelity, (1, 8))
     return [
         _speedup_series(
             fidelity, one, eight, "throughput", invert=False,
@@ -200,8 +231,7 @@ def figure4(fidelity: Fidelity) -> List[FigureSeries]:
 
 def figure5(fidelity: Fidelity) -> List[FigureSeries]:
     """8-node/1-node response-time speedup vs think time."""
-    one = scaling_sweep(fidelity, 1)
-    eight = scaling_sweep(fidelity, 8)
+    one, eight = scaling_sweeps(fidelity, (1, 8))
     return [
         _speedup_series(
             fidelity, one, eight, "mean_response_time", invert=True,
@@ -213,8 +243,7 @@ def figure5(fidelity: Fidelity) -> List[FigureSeries]:
 
 def figure6(fidelity: Fidelity) -> List[FigureSeries]:
     """Disk utilizations underlying the speedups."""
-    one = scaling_sweep(fidelity, 1)
-    eight = scaling_sweep(fidelity, 8)
+    one, eight = scaling_sweeps(fidelity, (1, 8))
     return [
         _metric_series(
             fidelity, one, "avg_disk_utilization",
@@ -231,8 +260,7 @@ def figure6(fidelity: Fidelity) -> List[FigureSeries]:
 
 def figure7(fidelity: Fidelity) -> List[FigureSeries]:
     """CPU utilizations underlying the speedups."""
-    one = scaling_sweep(fidelity, 1)
-    eight = scaling_sweep(fidelity, 8)
+    one, eight = scaling_sweeps(fidelity, (1, 8))
     return [
         _metric_series(
             fidelity, one, "avg_node_cpu_utilization",
@@ -322,8 +350,7 @@ def scaling_speedups_16node(fidelity: Fidelity) -> List[FigureSeries]:
 
 def scaling_speedups_4node(fidelity: Fidelity) -> List[FigureSeries]:
     """The §4.2 text's 4-node variant of Figures 4 and 5."""
-    one = scaling_sweep(fidelity, 1)
-    four = scaling_sweep(fidelity, 4)
+    one, four = scaling_sweeps(fidelity, (1, 4))
     return [
         _speedup_series(
             fidelity, one, four, "throughput", invert=False,

@@ -1,0 +1,98 @@
+"""Session-persistent process pool for the sweep executor.
+
+A figure session issues many ``run_many`` batches (each figure group,
+each fidelity, each CLI invocation runs several), and the old
+executor paid full ``ProcessPoolExecutor`` spawn for every one — on a
+small machine that tax alone pushed the parallel path below serial
+speed (the 0.913x trajectory point in ``BENCH_parallel_runner.json``).
+
+This module owns exactly one pool per process:
+
+* **Lazily created** on the first parallel batch, sized to the largest
+  worker count requested so far.
+* **Reused** by every subsequent batch from any executor (the pool is
+  deliberately module-level: ``runner``'s default executor, ad-hoc
+  ``SweepExecutor`` instances, and benchmarks all share it).
+* **Grown, never shrunk**: a request for more workers than the current
+  pool holds replaces it (one extra spawn per session maximum per
+  size increase); a request for fewer reuses the larger pool — the
+  executor throttles in-flight chunks to the requested ``jobs``, so a
+  big pool serving a small batch still runs at most ``jobs`` chunks
+  concurrently.
+* **Torn down atexit**, or explicitly via :func:`shutdown_pool` —
+  tests that monkeypatch worker-visible module state or environment
+  variables must call it first, because workers snapshot both at
+  spawn time.
+
+:func:`pool_generation` counts pool creations since process start, so
+tests can prove that consecutive batches spawned no new pool.
+"""
+
+from __future__ import annotations
+
+import atexit
+import concurrent.futures
+from typing import Optional
+
+__all__ = [
+    "discard_pool",
+    "get_pool",
+    "pool_generation",
+    "pool_workers",
+    "shutdown_pool",
+]
+
+_POOL: Optional[concurrent.futures.ProcessPoolExecutor] = None
+_POOL_WORKERS: int = 0
+_GENERATION: int = 0
+
+
+def get_pool(workers: int) -> concurrent.futures.ProcessPoolExecutor:
+    """The session pool, (re)created only if ``workers`` outgrows it."""
+    global _POOL, _POOL_WORKERS, _GENERATION
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if _POOL is None or _POOL_WORKERS < workers:
+        if _POOL is not None:
+            _POOL.shutdown(wait=True)
+        _POOL = concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers
+        )
+        _POOL_WORKERS = workers
+        _GENERATION += 1
+    return _POOL
+
+
+def pool_generation() -> int:
+    """How many pools this process has created (reuse proof for tests)."""
+    return _GENERATION
+
+
+def pool_workers() -> int:
+    """Worker count of the live pool (0 when no pool exists)."""
+    return _POOL_WORKERS if _POOL is not None else 0
+
+
+def shutdown_pool() -> None:
+    """Tear the session pool down (idempotent; atexit calls this)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+def discard_pool() -> None:
+    """Drop a broken pool without waiting (next batch respawns).
+
+    ``BrokenProcessPool`` leaves the executor unusable; waiting on its
+    shutdown can hang, so the reference is abandoned instead.
+    """
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=False, cancel_futures=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+atexit.register(shutdown_pool)
