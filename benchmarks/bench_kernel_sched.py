@@ -1,0 +1,229 @@
+"""Scheduler benchmark: heap vs calendar queue across populations.
+
+A synthetic kernel-only workload keeps a fixed population of pending
+self-rescheduling timers alive — 10³, 10⁴ and 10⁵ of them — and
+measures dispatched events per wall-clock second under both pending-
+event structures (``REPRO_KERNEL_SCHED=heap|calendar``).  The binary
+heap pays O(log n) Python-level ``__lt__`` calls per operation, so its
+rate sags as the population grows; the calendar queue's amortized-O(1)
+operations hold the rate roughly flat.  This is the micro-benchmark
+behind the scaleout acceptance numbers (see
+``benchmarks/bench_scaleout.py`` for the full-simulator version).
+
+Records are appended to ``BENCH_kernel_sched.json`` at the repo root
+(override with ``$REPRO_BENCH_OUT``).  Rates are machine-dependent, so
+each record also carries the interpreter *spin rate* and the
+normalized ratio ``events_per_spin``; the committed baseline
+(``benchmarks/baselines/kernel_sched.json``) stores the calendar
+scheduler's normalized rate per population and the regression check
+compares against it with a 30% tolerance.  The check is enforced when
+``$REPRO_BENCH_ENFORCE`` is set (CI); local runs just record.
+
+Run standalone::
+
+    python benchmarks/bench_kernel_sched.py
+
+or through pytest (same JSON record)::
+
+    pytest benchmarks/bench_kernel_sched.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+# Standalone-script convenience: make src/ importable without
+# PYTHONPATH (pytest runs get it from the usual test environment).
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(
+        0, str(Path(__file__).resolve().parents[1] / "src")
+    )
+
+from repro.sim.kernel import Environment
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_OUT = REPO_ROOT / "BENCH_kernel_sched.json"
+BASELINE_PATH = (
+    Path(__file__).resolve().parent / "baselines" / "kernel_sched.json"
+)
+
+#: Allowed normalized-throughput drop before the check fails.
+REGRESSION_TOLERANCE = 0.30
+
+#: Pending-timer populations exercised (the 10⁵ point is the
+#: 1000-node / 10⁵-terminal machine's idle-arrival population).
+POPULATIONS = (1_000, 10_000, 100_000)
+
+#: Total dispatched events per measurement, roughly constant across
+#: populations so each point costs comparable wall time.
+_TARGET_EVENTS = 400_000
+
+_SPIN_ITERATIONS = 2_000_000
+
+
+def spin_rate(iterations: int = _SPIN_ITERATIONS) -> float:
+    """Pure-Python iterations/second on this interpreter (best of 3)."""
+    best = float("inf")
+    for _ in range(3):
+        counter = 0
+        started = time.perf_counter()
+        for value in range(iterations):
+            counter += value
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return iterations / best
+
+
+def run_population(
+    scheduler: str, population: int, repeats: int = 3
+) -> dict:
+    """Dispatch rate with ``population`` pending self-firing timers.
+
+    Each timer reschedules itself with a pseudo-random delay until its
+    round budget is spent, so the pending population stays ~constant
+    for the whole run.  Delays come from a fixed-seed ``Random`` —
+    both schedulers replay the identical event sequence.
+    """
+    rounds = max(3, _TARGET_EVENTS // population)
+    best_wall = float("inf")
+    dispatched = 0
+    for _ in range(max(1, repeats)):
+        env = Environment(fast_lane=True, scheduler=scheduler)
+        rng = random.Random(0xC0FFEE).random
+        schedule = env.schedule
+
+        def tick(left):
+            if left:
+                schedule(0.01 + rng(), tick, left - 1)
+
+        for _ in range(population):
+            schedule(0.01 + rng(), tick, rounds)
+        started = time.perf_counter()
+        env.run()
+        wall = time.perf_counter() - started
+        if wall < best_wall:
+            best_wall = wall
+        dispatched = env.dispatch_count
+    return {
+        "scheduler": scheduler,
+        "population": population,
+        "rounds": rounds,
+        "events_dispatched": dispatched,
+        "best_wall_seconds": round(best_wall, 4),
+        "events_per_sec": round(
+            dispatched / best_wall if best_wall > 0 else 0.0, 1
+        ),
+    }
+
+
+def run_benchmark(repeats: int = 3) -> dict:
+    """Both schedulers across all populations, spin-normalized."""
+    rate = spin_rate()
+    results = []
+    for population in POPULATIONS:
+        for scheduler in ("heap", "calendar"):
+            entry = run_population(
+                scheduler, population, repeats=repeats
+            )
+            entry["events_per_spin"] = round(
+                entry["events_per_sec"] / rate, 6
+            )
+            results.append(entry)
+    speedups = {}
+    for population in POPULATIONS:
+        by_sched = {
+            entry["scheduler"]: entry["events_per_sec"]
+            for entry in results
+            if entry["population"] == population
+        }
+        if by_sched.get("heap"):
+            speedups[str(population)] = round(
+                by_sched["calendar"] / by_sched["heap"], 3
+            )
+    return {
+        "benchmark": "kernel_sched",
+        "spin_rate": round(rate, 1),
+        "results": results,
+        "calendar_speedup_over_heap": speedups,
+        "timestamp": time.strftime(
+            "%Y-%m-%dT%H:%M:%S%z", time.localtime()
+        ),
+    }
+
+
+def load_baselines() -> dict:
+    """Committed normalized calendar rates, keyed by population."""
+    try:
+        data = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    return data if isinstance(data, dict) else {}
+
+
+def check_regression(record: dict) -> tuple[bool, str]:
+    """Compare calendar events_per_spin per population vs baseline."""
+    baselines = load_baselines()
+    if not baselines:
+        return True, "no committed baseline; recorded only"
+    failures = []
+    checked = []
+    for entry in record["results"]:
+        if entry["scheduler"] != "calendar":
+            continue
+        baseline = baselines.get(str(entry["population"]))
+        if not isinstance(baseline, (int, float)):
+            continue
+        floor = baseline * (1.0 - REGRESSION_TOLERANCE)
+        measured = entry["events_per_spin"]
+        checked.append(
+            f"pop={entry['population']}: {measured:.6f} vs "
+            f"baseline {baseline:.6f} (floor {floor:.6f})"
+        )
+        if measured < floor:
+            failures.append(checked[-1])
+    message = "; ".join(checked) or "no matching baseline entries"
+    return not failures, message
+
+
+def _out_path() -> Path:
+    override = os.environ.get("REPRO_BENCH_OUT")
+    return Path(override) if override else DEFAULT_OUT
+
+
+def append_record(record: dict, path: Path) -> None:
+    """Append to the JSON trajectory (a list of records)."""
+    records = []
+    if path.is_file():
+        try:
+            records = json.loads(path.read_text(encoding="utf-8"))
+            if not isinstance(records, list):
+                records = [records]
+        except (OSError, ValueError):
+            records = []
+    records.append(record)
+    path.write_text(
+        json.dumps(records, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def test_kernel_sched_events_per_sec():
+    """Record heap-vs-calendar rates; enforce the baseline when asked."""
+    record = run_benchmark()
+    ok, message = check_regression(record)
+    record["baseline_check"] = message
+    append_record(record, _out_path())
+    print(json.dumps(record, indent=2))
+    if os.environ.get("REPRO_BENCH_ENFORCE"):
+        assert ok, f"calendar dispatch rate regressed: {message}"
+
+
+if __name__ == "__main__":  # pragma: no cover
+    test_kernel_sched_events_per_sec()

@@ -1,0 +1,333 @@
+"""Scaleout benchmark: simulator event rate as the machine grows.
+
+Runs the registered ``scaleout`` experiment's fixed-per-node-load
+configuration (see :mod:`repro.experiments.scaleout`) at a sweep of
+machine sizes under the default fast path — calendar-queue scheduler
+plus aggregated terminal arrivals — and records wall-clock events per
+second, throughput and p99 per point.  At the largest swept size it
+also runs the legacy configuration (binary heap + one resident Process
+per terminal, ``REPRO_KERNEL_SCHED=heap REPRO_WORKLOAD_AGG=0``) on the
+bit-identical event sequence and records the measured speedup.  Every
+timed point runs in a fresh child interpreter so allocator state from
+earlier points cannot skew the comparison (see :func:`_timed_run`);
+that also makes the per-point ``peak_rss_mb`` the high-water mark of
+exactly one configuration, which is where the aggregated-arrivals win
+is largest (no resident generator frame per terminal).
+
+Records are appended to ``BENCH_scaleout.json`` at the repo root
+(override with ``$REPRO_BENCH_OUT``).  Rates are machine-dependent, so
+each point carries the interpreter *spin rate* and the normalized
+``events_per_spin``; the committed baseline
+(``benchmarks/baselines/scaleout_events.json``) stores the fast path's
+normalized rate per node count and the regression check compares
+against it with a 30% tolerance — that is the events/sec floor the CI
+``scaleout-smoke`` job enforces with ``$REPRO_BENCH_ENFORCE=1``.
+
+Environment knobs:
+
+* ``REPRO_SCALEOUT_NODES`` — comma-separated node counts overriding
+  the fidelity default (CI uses a reduced sweep).
+* ``REPRO_SCALEOUT_BASELINE=0`` — skip the heap+resident comparison
+  runs (they multiply the wall time spent on the largest point).
+* ``REPRO_SCALEOUT_PAIRS`` — adjacent comparison pairs for the
+  speedup (default 3; the recorded value is the median pair ratio).
+
+Run standalone (the full sweep reaches 1000 nodes / 10⁵ terminals)::
+
+    REPRO_FIDELITY=bench python benchmarks/bench_scaleout.py
+
+or through pytest (same JSON record)::
+
+    pytest benchmarks/bench_scaleout.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX host
+    resource = None
+
+# Standalone-script convenience: make src/ importable without
+# PYTHONPATH (pytest runs get it from the usual test environment).
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(
+        0, str(Path(__file__).resolve().parents[1] / "src")
+    )
+
+from repro.core.simulation import Simulation
+from repro.experiments.fidelity import Fidelity
+from repro.experiments.scaleout import (
+    scaleout_config,
+    scaleout_node_counts,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_OUT = REPO_ROOT / "BENCH_scaleout.json"
+BASELINE_PATH = (
+    Path(__file__).resolve().parent
+    / "baselines"
+    / "scaleout_events.json"
+)
+
+#: Allowed normalized-throughput drop before the check fails.
+REGRESSION_TOLERANCE = 0.30
+
+_SPIN_ITERATIONS = 2_000_000
+
+
+def spin_rate(iterations: int = _SPIN_ITERATIONS) -> float:
+    """Pure-Python iterations/second on this interpreter (best of 3)."""
+    best = float("inf")
+    for _ in range(3):
+        counter = 0
+        started = time.perf_counter()
+        for value in range(iterations):
+            counter += value
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return iterations / best
+
+
+def _node_counts(fidelity: Fidelity) -> tuple:
+    override = os.environ.get("REPRO_SCALEOUT_NODES")
+    if override:
+        return tuple(
+            int(part) for part in override.split(",") if part.strip()
+        )
+    return scaleout_node_counts(fidelity)
+
+
+def _measure(
+    fidelity: Fidelity, num_nodes: int, scheduler: str, aggregated: str
+) -> dict:
+    """One timed run under explicit kernel/workload toggles."""
+    saved = {
+        key: os.environ.get(key)
+        for key in ("REPRO_KERNEL_SCHED", "REPRO_WORKLOAD_AGG")
+    }
+    os.environ["REPRO_KERNEL_SCHED"] = scheduler
+    os.environ["REPRO_WORKLOAD_AGG"] = aggregated
+    try:
+        simulation = Simulation(scaleout_config(fidelity, num_nodes))
+        started = time.perf_counter()
+        result = simulation.run()
+        wall = time.perf_counter() - started
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+    events = simulation.env.dispatch_count
+    peak_rss_mb = None
+    if resource is not None:
+        # Meaningful per configuration because every timed point runs
+        # in its own child interpreter: this is the high-water mark of
+        # exactly one simulation.  ru_maxrss is in KiB on Linux.
+        peak_rss_mb = round(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
+            1,
+        )
+    return {
+        "nodes": num_nodes,
+        "terminals": simulation.config.workload.num_terminals,
+        "scheduler": scheduler,
+        "aggregated_arrivals": aggregated != "0",
+        "events_dispatched": events,
+        "wall_seconds": round(wall, 4),
+        "events_per_sec": round(
+            events / wall if wall > 0 else 0.0, 1
+        ),
+        "throughput": round(result.throughput, 3),
+        "response_p99": round(result.response_time_p99, 4),
+        "commits": result.commits,
+        "peak_rss_mb": peak_rss_mb,
+    }
+
+
+def _timed_run(
+    fidelity: Fidelity, num_nodes: int, scheduler: str, aggregated: str
+) -> dict:
+    """Run one measurement in a fresh interpreter.
+
+    Big points allocate hundreds of MB; running them back to back in
+    one process lets earlier points' allocator and GC state skew later
+    wall-clock readings by tens of percent (enough to flip the
+    heap-vs-calendar comparison).  A child process per point keeps
+    every measurement cold-started and comparable.  The child re-runs
+    this file with ``--one`` and prints the measurement as JSON; the
+    timed window (inside :func:`_measure`) never includes interpreter
+    startup.
+    """
+    env = dict(os.environ)
+    env["REPRO_FIDELITY"] = fidelity.name
+    env["REPRO_KERNEL_SCHED"] = scheduler
+    env["REPRO_WORKLOAD_AGG"] = aggregated
+    completed = subprocess.run(
+        [
+            sys.executable,
+            os.fspath(Path(__file__).resolve()),
+            "--one",
+            str(num_nodes),
+            scheduler,
+            aggregated,
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(completed.stdout.strip().splitlines()[-1])
+
+
+def run_benchmark(fidelity: Fidelity) -> dict:
+    """Sweep machine sizes; compare against heap+resident at the top."""
+    rate = spin_rate()
+    points = []
+    for num_nodes in _node_counts(fidelity):
+        point = _timed_run(fidelity, num_nodes, "calendar", "1")
+        point["events_per_spin"] = round(
+            point["events_per_sec"] / rate, 6
+        )
+        points.append(point)
+    record = {
+        "benchmark": "scaleout",
+        "fidelity": fidelity.name,
+        "workload": "fixed per-node load, 100 terminals/node, "
+        "think 360s, 2pl",
+        "spin_rate": round(rate, 1),
+        "points": points,
+        "timestamp": time.strftime(
+            "%Y-%m-%dT%H:%M:%S%z", time.localtime()
+        ),
+    }
+    if os.environ.get("REPRO_SCALEOUT_BASELINE", "1") != "0" and points:
+        top = points[-1]
+        pairs = int(os.environ.get("REPRO_SCALEOUT_PAIRS", "3"))
+        ratios = []
+        legacy = None
+        for _ in range(max(1, pairs)):
+            # Host throughput drifts by tens of percent over minutes
+            # (shared machine, thermal/cgroup throttling), swamping a
+            # single A-vs-B measurement.  Adjacent pairs see the same
+            # machine state, so their ratio is stable; the median
+            # across pairs is the recorded speedup.
+            fast = _timed_run(fidelity, top["nodes"], "calendar", "1")
+            legacy = _timed_run(fidelity, top["nodes"], "heap", "0")
+            # Bit-identity makes each pair a pure wall-clock
+            # comparison: both configurations dispatched the same
+            # events in the same order.
+            assert (
+                legacy["events_dispatched"] == top["events_dispatched"]
+            )
+            assert (
+                fast["events_dispatched"] == top["events_dispatched"]
+            )
+            if legacy["events_per_sec"]:
+                ratios.append(
+                    fast["events_per_sec"] / legacy["events_per_sec"]
+                )
+        record["legacy_heap_resident"] = legacy
+        if ratios:
+            ratios.sort()
+            record["speedup_pairs"] = [
+                round(ratio, 3) for ratio in ratios
+            ]
+            record["speedup_vs_heap_resident"] = round(
+                ratios[len(ratios) // 2], 3
+            )
+    return record
+
+
+def load_baselines() -> dict:
+    """Committed normalized rates, keyed by node count."""
+    try:
+        data = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    return data if isinstance(data, dict) else {}
+
+
+def check_regression(record: dict) -> tuple[bool, str]:
+    """Per-node-count events_per_spin floor vs the committed baseline."""
+    baselines = load_baselines()
+    if not baselines:
+        return True, "no committed baseline; recorded only"
+    failures = []
+    checked = []
+    for point in record["points"]:
+        baseline = baselines.get(str(point["nodes"]))
+        if not isinstance(baseline, (int, float)):
+            continue
+        floor = baseline * (1.0 - REGRESSION_TOLERANCE)
+        measured = point["events_per_spin"]
+        checked.append(
+            f"nodes={point['nodes']}: {measured:.6f} vs baseline "
+            f"{baseline:.6f} (floor {floor:.6f})"
+        )
+        if measured < floor:
+            failures.append(checked[-1])
+    message = "; ".join(checked) or "no matching baseline entries"
+    return not failures, message
+
+
+def _out_path() -> Path:
+    override = os.environ.get("REPRO_BENCH_OUT")
+    return Path(override) if override else DEFAULT_OUT
+
+
+def append_record(record: dict, path: Path) -> None:
+    """Append to the JSON trajectory (a list of records)."""
+    records = []
+    if path.is_file():
+        try:
+            records = json.loads(path.read_text(encoding="utf-8"))
+            if not isinstance(records, list):
+                records = [records]
+        except (OSError, ValueError):
+            records = []
+    records.append(record)
+    path.write_text(
+        json.dumps(records, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def test_scaleout_events_per_sec():
+    """Record the scaleout sweep; enforce the floor when asked."""
+    fidelity = Fidelity.from_env(default="smoke")
+    record = run_benchmark(fidelity)
+    ok, message = check_regression(record)
+    record["baseline_check"] = message
+    append_record(record, _out_path())
+    print(json.dumps(record, indent=2))
+    if os.environ.get("REPRO_BENCH_ENFORCE"):
+        assert ok, f"scaleout event rate regressed: {message}"
+
+
+if __name__ == "__main__":  # pragma: no cover
+    if len(sys.argv) > 1 and sys.argv[1] == "--one":
+        # Child-process mode (see _timed_run): one measurement, JSON
+        # on stdout.  Toggles arrive via the environment.
+        print(
+            json.dumps(
+                _measure(
+                    Fidelity.from_env(default="smoke"),
+                    int(sys.argv[2]),
+                    sys.argv[3],
+                    sys.argv[4],
+                )
+            )
+        )
+    else:
+        test_scaleout_events_per_sec()

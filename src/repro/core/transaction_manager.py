@@ -44,7 +44,8 @@ from repro.core.transaction import (
     Transaction,
     TransactionState,
 )
-from repro.core.workload import RetryBackoff, Source
+from repro.core.workload import AggregatedTerminalSource, RetryBackoff, \
+    Source, aggregated_terminals_default
 from repro.sim.kernel import Environment, Interrupt, Mailbox
 from repro.sim.stats import Tally
 from repro.sim.streams import RandomStreams
@@ -122,9 +123,26 @@ class TransactionManager:
     # ------------------------------------------------------------------
 
     def start(self) -> None:
-        """Launch one process per terminal."""
+        """Launch the terminal population.
+
+        Default: one :class:`AggregatedTerminalSource` drives every
+        terminal with plain callbacks (memory stays O(in-flight
+        transactions)).  ``REPRO_WORKLOAD_AGG=0`` reverts to the
+        original resident loop — one generator Process per terminal —
+        which the determinism suite keeps bit-identical to the
+        aggregated source.
+        """
+        if aggregated_terminals_default():
+            self._arrival_source = AggregatedTerminalSource(
+                self.env, self.source, self
+            )
+            self._arrival_source.start()
+            return
+        self._arrival_source = None
+        # The verification fallback is the one sanctioned resident
+        # spawn site.
         for terminal in range(self.config.workload.num_terminals):
-            self.env.process(
+            self.env.process(  # simlint: ignore[resident-terminal-process]
                 self._terminal_loop(terminal),
                 name=f"terminal-{terminal}",
             )

@@ -18,14 +18,36 @@ accesses per partition first and groups them by node afterwards.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import os
+from bisect import bisect_right
+from typing import Dict, List, Sequence
 
 from repro.core.config import TransactionClassConfig, WorkloadConfig
 from repro.core.database import Database, PageId
-from repro.core.transaction import AccessSpec, CohortSpec, PageAccess
+from repro.core.tracing import EventKind
+from repro.core.transaction import AccessSpec, CohortSpec, PageAccess, \
+    Transaction
 from repro.sim.streams import RandomStreams
 
-__all__ = ["RetryBackoff", "Source"]
+__all__ = [
+    "AggregatedTerminalSource",
+    "RetryBackoff",
+    "Source",
+    "aggregated_terminals_default",
+]
+
+
+def aggregated_terminals_default() -> bool:
+    """Aggregated arrivals are on unless ``REPRO_WORKLOAD_AGG=0``.
+
+    The toggle selects between :class:`AggregatedTerminalSource` (one
+    batched arrival source for the host's terminal population) and the
+    original resident one-Process-per-terminal loop in
+    :class:`~repro.core.transaction_manager.TransactionManager`.  Both
+    are bit-identical — the determinism suite proves it — so this is a
+    memory/speed choice, not a model choice.
+    """
+    return os.environ.get("REPRO_WORKLOAD_AGG", "1") != "0"
 
 
 class RetryBackoff:
@@ -68,7 +90,7 @@ class Source:
         self.config = config
         self.database = database
         self.streams = streams
-        self._class_of_terminal = self._assign_classes()
+        self._class_bounds = self._assign_class_bounds()
         # Hot-path stream handles: the named-stream lookups below are
         # made once here instead of per draw.  Streams are seeded by
         # name, so grabbing them eagerly changes no draw sequence.
@@ -76,17 +98,29 @@ class Source:
         self._page_choice_stream = streams.get("page-choice")
         self._write_coin_stream = streams.get("write-coin")
         self._inst_draw = streams.get("inst-per-page").expovariate
-        self._think_draws = [
-            streams.get(f"think-{terminal}").expovariate
-            for terminal in range(config.num_terminals)
-        ]
+        # Per-terminal think-stream handles, created on first draw.  At
+        # 10^5+ terminals, materialising every stream up front costs
+        # O(terminals) startup work for terminals that may never think;
+        # laziness changes no draw sequence (streams are seeded by
+        # name, not by creation order).
+        self._think_draws: Dict[int, object] = {}
         self._inv_think = (
             1.0 / config.think_time if config.think_time > 0.0 else 0.0
         )
 
-    def _assign_classes(self) -> List[TransactionClassConfig]:
-        """Split terminals between classes by ClassFrac (deterministic)."""
-        assignment: List[TransactionClassConfig] = []
+    def _assign_class_bounds(self) -> List[int]:
+        """Split terminals between classes by ClassFrac (deterministic).
+
+        Returns cumulative terminal-count boundaries — one per class —
+        so :meth:`class_of` is a bisect over O(num_classes) ints
+        instead of an indexed O(num_terminals) materialised list.
+        Quotas follow the paper's rule: each class gets
+        ``round(ClassFrac * terminals)`` capped by what remains, and
+        the last class absorbs the remainder so every terminal
+        generates work.
+        """
+        bounds: List[int] = []
+        assigned = 0
         remaining = self.config.num_terminals
         for index, cls in enumerate(self.config.classes):
             if index == len(self.config.classes) - 1:
@@ -95,17 +129,16 @@ class Source:
                 quota = round(cls.terminal_fraction
                               * self.config.num_terminals)
                 quota = min(quota, remaining)
-            assignment.extend([cls] * quota)
+            assigned += quota
             remaining -= quota
-        # Rounding may leave terminals unassigned; give them to the
-        # largest class so every terminal generates work.
-        while len(assignment) < self.config.num_terminals:
-            assignment.append(self.config.classes[0])
-        return assignment[: self.config.num_terminals]
+            bounds.append(assigned)
+        return bounds
 
     def class_of(self, terminal: int) -> TransactionClassConfig:
         """The transaction class terminal ``terminal`` generates."""
-        return self._class_of_terminal[terminal]
+        return self.config.classes[
+            bisect_right(self._class_bounds, terminal)
+        ]
 
     def relation_of(self, terminal: int) -> int:
         """The relation this terminal's group accesses.
@@ -223,7 +256,11 @@ class Source:
         """Draw an exponential think time (0 when the mean is 0)."""
         if self.config.think_time <= 0.0:
             return 0.0
-        return self._think_draws[terminal](self._inv_think)
+        draw = self._think_draws.get(terminal)
+        if draw is None:
+            draw = self.streams.get(f"think-{terminal}").expovariate
+            self._think_draws[terminal] = draw
+        return draw(self._inv_think)
 
     def page_processing_instructions(
         self, cls: TransactionClassConfig
@@ -233,3 +270,140 @@ class Source:
         if mean <= 0.0:
             return 0.0
         return self._inst_draw(1.0 / mean)
+
+
+class _TerminalWatcher:
+    """Process-protocol shim subscribing a terminal to its transaction.
+
+    Replaces the resident terminal Process's ``yield txn_process`` in
+    aggregated mode: implements just enough of the process protocol —
+    ``_alive``/``_waiting_on`` for the deferred-delivery check,
+    ``_resume`` for normal completion, and the ``_generator.throw`` /
+    ``_step`` pair for the exception path of
+    :meth:`Process._notify_step` — to be notified when the transaction
+    process finishes.  A resident terminal would die with the same
+    unobserved exception the transaction re-raised; the shim mirrors
+    that by recording a crash under the same ``terminal-N`` name.
+    """
+
+    __slots__ = ("owner", "terminal", "name", "_alive", "_waiting_on")
+
+    def __init__(self, owner: "AggregatedTerminalSource",
+                 terminal: int, process) -> None:
+        self.owner = owner
+        self.terminal = terminal
+        self.name = f"terminal-{terminal}"
+        self._alive = True
+        self._waiting_on = process
+        process._subscribe(self)
+
+    @property
+    def _generator(self) -> "_TerminalWatcher":
+        return self
+
+    def throw(self, exception: BaseException) -> None:
+        raise exception  # pragma: no cover - marker, never driven
+
+    def _resume(self, value) -> None:
+        self._alive = False
+        self._waiting_on = None
+        self.owner._transaction_finished(self.terminal)
+
+    def _step(self, advance, argument) -> None:
+        # Only reached when the transaction process died with an
+        # exception (Process._notify_step calls _step(throw, exc)).
+        self._alive = False
+        self._waiting_on = None
+        self.owner.env._record_crash(self, argument)
+
+
+class AggregatedTerminalSource:
+    """Batched arrival source: the host's terminals without Processes.
+
+    The resident implementation keeps one generator Process alive per
+    terminal, cycling think → generate → run → think; every idle
+    terminal therefore holds a suspended generator frame, a Process
+    object, and a pooled Timeout on top of its pending think event.  At
+    the paper's 128 terminals that is noise; at the ROADMAP's 10⁵–10⁶
+    it dominates memory and startup time.
+
+    This source keeps only a scheduled arrival handle per idle terminal
+    (a single pooled ``ScheduledCallback``) and drives the whole
+    population with plain callbacks.  It is *bit-identical* to the
+    resident loop, by construction:
+
+    * Per-terminal think times come from the same ``think-{terminal}``
+      streams, drawn at the same dispatch points: the resident loop
+      draws inside the process-notification step after a transaction
+      finishes (and inside the terminal's start step at t=0); this
+      source draws inside the watcher-resume step (and inside its boot
+      step at t=0).  Same global order, same streams, same sequences.
+    * Shared-stream draws (``page-count``, ``page-choice``,
+      ``write-coin``, ``file-choice``…) happen in ``generate`` at the
+      arrival instant, inside the arrival callback — exactly where the
+      resident terminal's resumed generator made them.
+    * Kernel sequence numbers are consumed one-for-one: boot consumes
+      one ``schedule_now`` per terminal exactly as ``Process.__init__``
+      did; each think consumes one ``schedule``; each arrival consumes
+      one ``schedule_now`` (transaction-process start); each completion
+      consumes one ``schedule_now`` (watcher notification).  The global
+      ``(time, seq)`` schedule — and therefore every simulation result
+      — is unchanged.
+
+    Terminals all attach to the host node in this model (paper §3.2),
+    so one source per simulation is one source per (host) node.
+    ``REPRO_WORKLOAD_AGG=0`` reverts to the resident loop.
+    """
+
+    def __init__(self, env, source: Source, manager) -> None:
+        self.env = env
+        self.source = source
+        #: The owning TransactionManager (transaction execution, metrics
+        #: and tracing stay there; only arrival generation moves here).
+        self.manager = manager
+
+    def start(self) -> None:
+        """Boot every terminal (one zero-delay callback each).
+
+        Mirrors the resident path, where ``Process.__init__`` schedules
+        one start step per terminal at the current time.
+        """
+        env = self.env
+        boot = self._boot
+        for terminal in range(self.source.config.num_terminals):
+            env.schedule_now(boot, terminal)
+
+    def _boot(self, terminal: int) -> None:
+        think = self.source.think_time(terminal)
+        if think > 0.0:
+            self.env.schedule(think, self._arrive, terminal)
+        else:
+            self._arrive(terminal)
+
+    def _arrive(self, terminal: int) -> None:
+        """The terminal submits: draw the spec, start the transaction."""
+        manager = self.manager
+        source = self.source
+        spec = source.generate(terminal)
+        transaction = Transaction(
+            terminal,
+            source.class_of(terminal),
+            spec,
+            self.env.now,
+        )
+        manager.active_transactions += 1
+        if manager._tracing:
+            manager._trace(EventKind.ORIGINATED, transaction)
+        process = self.env.process(
+            manager._run_transaction(transaction),
+            name=f"txn-{transaction.tid}",
+        )
+        _TerminalWatcher(self, terminal, process)
+
+    def _transaction_finished(self, terminal: int) -> None:
+        self.manager.active_transactions -= 1
+        think = self.source.think_time(terminal)
+        if think > 0.0:
+            self.env.schedule(think, self._arrive, terminal)
+        else:
+            self._arrive(terminal)

@@ -7,7 +7,7 @@ from typing import Callable, Dict, List
 
 from repro.analysis.series import FigureSeries
 from repro.experiments import ablations, faults, overheads, \
-    partitioning, replication, scaling, sensitivity
+    partitioning, replication, scaleout, scaling, sensitivity
 from repro.experiments.fidelity import Fidelity
 
 __all__ = ["EXPERIMENTS", "Experiment", "get_experiment"]
@@ -151,6 +151,12 @@ _DEFINITIONS = [
         "Extension: availability under node crashes and message "
         "loss",
         faults.faults_experiment,
+    ),
+    Experiment(
+        "scaleout",
+        "Extension: machine scaleout to 1000 nodes / 10^5 terminals "
+        "at fixed per-node load",
+        scaleout.scaleout_experiment,
     ),
 ]
 

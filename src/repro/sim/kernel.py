@@ -80,6 +80,23 @@ def _fast_lane_default() -> bool:
     return os.environ.get("REPRO_KERNEL_FASTLANE", "1") != "0"
 
 
+def _scheduler_default() -> str:
+    """Scheduler choice: ``REPRO_KERNEL_SCHED=calendar`` (default) | ``heap``.
+
+    ``calendar`` keeps per-event cost O(1) in the pending-event
+    population (see :mod:`repro.sim.calendar`); ``heap`` is the
+    original binary heap.  Both produce bit-identical schedules — the
+    calendar queue pops in exact global ``(time, seq)`` order — so the
+    toggle is a performance choice, verified by the determinism suite.
+    """
+    value = os.environ.get("REPRO_KERNEL_SCHED", "calendar")
+    if value not in ("calendar", "heap"):
+        raise ValueError(
+            f"REPRO_KERNEL_SCHED={value!r}; expected 'calendar' or 'heap'"
+        )
+    return value
+
+
 def _gc_pause_default() -> bool:
     """GC is paused inside ``run()`` unless ``REPRO_KERNEL_GC_PAUSE=0``.
 
@@ -669,6 +686,7 @@ class Environment:
     __slots__ = (
         "now",
         "_heap",
+        "_cal",
         "_fast",
         "_seq",
         "_crashes",
@@ -679,9 +697,25 @@ class Environment:
         "dispatch_count",
     )
 
-    def __init__(self, fast_lane: Optional[bool] = None):
+    def __init__(
+        self,
+        fast_lane: Optional[bool] = None,
+        scheduler: Optional[str] = None,
+    ):
         self.now = 0.0
         self._heap: list[ScheduledCallback] = []
+        if scheduler is None:
+            scheduler = _scheduler_default()
+        elif scheduler not in ("calendar", "heap"):
+            raise ValueError(
+                f"scheduler={scheduler!r}; expected 'calendar' or 'heap'"
+            )
+        if scheduler == "calendar":
+            from repro.sim.calendar import CalendarQueue
+
+            self._cal: Optional["CalendarQueue"] = CalendarQueue()
+        else:
+            self._cal = None
         self._fast: deque[ScheduledCallback] = deque()
         self._seq = 0
         self._crashes: list[tuple[Process, BaseException]] = []
@@ -692,6 +726,11 @@ class Environment:
         self._timeout_pool: list[Timeout] = []
         self._handle_pool: list[ScheduledCallback] = []
         self.dispatch_count = 0
+
+    @property
+    def scheduler(self) -> str:
+        """Active pending-event structure: ``"calendar"`` or ``"heap"``."""
+        return "heap" if self._cal is None else "calendar"
 
     @property
     def crashes(self) -> list[tuple["Process", BaseException]]:
@@ -720,6 +759,8 @@ class Environment:
             )
         if delay == 0.0 and self._fast_enabled:
             self._fast.append(handle)
+        elif self._cal is not None:
+            self._cal.push(handle)
         else:
             heapq.heappush(self._heap, handle)
         return handle
@@ -746,6 +787,8 @@ class Environment:
             handle = ScheduledCallback(self.now, seq, callback, args)
         if self._fast_enabled:
             self._fast.append(handle)
+        elif self._cal is not None:
+            self._cal.push(handle)
         else:
             heapq.heappush(self._heap, handle)
         return handle
@@ -794,11 +837,15 @@ class Environment:
         ``until`` so that time-weighted statistics close their intervals
         at the requested horizon.  ``until`` must not lie in the past.
 
-        Dispatch order: the earliest ``(time, seq)`` across the heap and
-        the fast lane runs next.  Fast-lane entries always carry the
-        current timestamp, so the comparison only needs the sequence
-        number when a heap entry is due at the same instant.
+        Dispatch order: the earliest ``(time, seq)`` across the
+        scheduler and the fast lane runs next.  Fast-lane entries
+        always carry the current timestamp, so the comparison only
+        needs the sequence number when a scheduler entry is due at the
+        same instant.
         """
+        if self._cal is not None:
+            self._run_calendar(until)
+            return
         heap = self._heap
         fast = self._fast
         heappop = heapq.heappop
@@ -850,6 +897,74 @@ class Environment:
                 handle.callback(*handle.args)
                 # The handle is kernel-owned again (see
                 # ScheduledCallback); recycle it.
+                handle.callback = None
+                handle.args = ()
+                if len(pool) < _HANDLE_POOL_LIMIT:
+                    pool_append(handle)
+        finally:
+            self.dispatch_count = dispatched
+            if pause_gc:
+                gc.enable()
+        if until is not None and until > self.now:
+            self.now = until
+
+    def _run_calendar(self, until: Optional[float]) -> None:
+        """The :meth:`run` dispatch loop over the calendar queue.
+
+        Identical to the heap loop except that the pending-event
+        structure is peeked/popped through :class:`CalendarQueue`,
+        which yields the same exact ``(time, seq)`` order.
+        """
+        cal = self._cal
+        assert cal is not None
+        fast = self._fast
+        peek = cal.peek
+        pop = cal.pop
+        pool = self._handle_pool
+        pool_append = pool.append
+        now = self.now
+        dispatched = self.dispatch_count
+        pause_gc = self._gc_pause and gc.isenabled()
+        if pause_gc:
+            gc.disable()
+        try:
+            while True:
+                if fast:
+                    handle = fast[0]
+                    top = peek()
+                    # Exact: scheduler entry times are stored schedule
+                    # values and ``now`` was copied from one, so
+                    # equality means "same instant" by construction.
+                    if (
+                        top is not None
+                        and top.time == now  # simlint: ignore[float-time-equality]
+                        and top.seq < handle.seq
+                    ):
+                        handle = top
+                        pop()
+                    else:
+                        fast.popleft()
+                else:
+                    handle = peek()
+                    if handle is None:
+                        break
+                    if until is not None and handle.time > until:
+                        self.now = until
+                        return
+                    pop()
+                if handle.cancelled:
+                    handle.callback = None
+                    handle.args = ()
+                    if len(pool) < _HANDLE_POOL_LIMIT:
+                        pool_append(handle)
+                    continue
+                time = handle.time
+                # Exact: see the heap loop.
+                if time != now:  # simlint: ignore[float-time-equality]
+                    now = time
+                    self.now = time
+                dispatched += 1
+                handle.callback(*handle.args)
                 handle.callback = None
                 handle.args = ()
                 if len(pool) < _HANDLE_POOL_LIMIT:

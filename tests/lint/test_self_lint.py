@@ -33,6 +33,9 @@ def test_known_suppressions_are_inventoried():
         ("kernel.py", "float-time-equality"),
         ("kernel.py", "float-time-equality"),
         ("kernel.py", "float-time-equality"),
+        ("kernel.py", "float-time-equality"),
+        ("kernel.py", "float-time-equality"),
+        ("transaction_manager.py", "resident-terminal-process"),
     ]
 
 
