@@ -114,6 +114,9 @@ class LockManager:
         violating that is a caller bug and raises immediately rather
         than corrupting the queue.
         """
+        san = self.env._san
+        if san is not None:
+            san.write(("lock", self))
         txn = cohort.transaction
         entry = self._table.get(page)
         if entry is None:
@@ -200,7 +203,10 @@ class LockManager:
     ) -> List[Transaction]:
         txn = request.transaction
         conflicts: List[Transaction] = []
-        for holder, mode in entry.holders.items():
+        # Holders iterate in grant order; the conflict set preserves
+        # it on purpose — wound-wait's wound order is documented as
+        # following the grant history, not a sorted key.
+        for holder, mode in entry.holders.items():  # simlint: ignore[unordered-dict-iteration]
             if holder is txn:
                 continue
             if _conflicts(request.mode, mode):
@@ -224,6 +230,9 @@ class LockManager:
         is withdrawn — locks the transaction already holds stay held
         until the abort protocol reaches this node.
         """
+        san = self.env._san
+        if san is not None:
+            san.write(("lock", self))
         entry = self._table.get(request.page)
         if entry is not None and request in entry.queue:
             entry.queue.remove(request)
@@ -232,6 +241,9 @@ class LockManager:
 
     def release_all(self, txn: Transaction) -> None:
         """Drop every lock and queued request of ``txn`` at this node."""
+        san = self.env._san
+        if san is not None:
+            san.write(("lock", self))
         touched: List[PageId] = []
         # The grant pass fires blocked requests' events in the order
         # pages are visited, so iterating the held-set directly would
@@ -317,13 +329,19 @@ class LockManager:
         conflicting request queued ahead of it (grants are FIFO, so the
         ahead-of-me edges are real).
         """
+        san = self.env._san
+        if san is not None:
+            san.read(("lock", self))
         edges: List[Tuple[Transaction, Transaction]] = []
         exclusive = LockMode.EXCLUSIVE
         append = edges.append
         # This runs on every conflict under local detection (2PL), so
         # entries with no waiters — the vast majority — are skipped
-        # outright and the conflict test is inlined.
-        for entry in self._table.values():
+        # outright and the conflict test is inlined.  Table and holder
+        # order (insertion order: page first touched / lock granted)
+        # is the deadlock detector's documented edge order; sorting
+        # here would change victim tie-breaks and every golden figure.
+        for entry in self._table.values():  # simlint: ignore[unordered-dict-iteration]
             queue = entry.queue
             if not queue:
                 continue
@@ -331,7 +349,7 @@ class LockManager:
             for position, request in enumerate(queue):
                 waiter = request.transaction
                 is_exclusive = request.mode is exclusive
-                for holder, mode in holders.items():
+                for holder, mode in holders.items():  # simlint: ignore[unordered-dict-iteration]
                     if holder is not waiter and (
                         is_exclusive or mode is exclusive
                     ):
@@ -354,12 +372,17 @@ class LockManager:
         return bool(self._waiting.get(txn))
 
     def assert_consistent(self) -> None:
-        """Internal invariant checks, used by the test suite."""
-        for page, entry in self._table.items():
-            exclusive = [
-                t for t, m in entry.holders.items()
+        """Internal invariant checks, used by the test suite.
+
+        Pages are visited in sorted order so the first assertion to
+        fire is the same one on every run.
+        """
+        for page in sorted(self._table):
+            entry = self._table[page]
+            exclusive = sum(
+                1 for m in entry.holders.values()
                 if m is LockMode.EXCLUSIVE
-            ]
+            )
             if exclusive and len(entry.holders) > 1:
                 raise AssertionError(
                     f"exclusive lock shared on {page}: {entry.holders}"

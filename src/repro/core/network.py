@@ -146,9 +146,13 @@ class NetworkManager:
         self.messages_sent = Counter()
         self.messages_dropped = Counter()
         # Fault hooks: None until an injector attaches (failure-free
-        # runs never pay for courier tracking).
+        # runs never pay for courier tracking).  The sanitizer's leak
+        # audit needs the same in-flight tracking, so sanitized runs
+        # enable it even without an injector.
         self._faults = None
         self._inflight: Optional[Dict[_Courier, None]] = None
+        if env._san is not None:
+            self._inflight = {}
 
     def attach_faults(self, injector) -> None:
         """Route every message through ``injector``'s fault filter and
@@ -181,6 +185,9 @@ class NetworkManager:
         this contract, so arity drift is caught at review time rather
         than as a mid-simulation ``TypeError``.
         """
+        san = self.env._san
+        if san is not None:
+            san.write(("net", source, destination))
         if source == destination:
             self.env.schedule_now(handler, payload)
             return

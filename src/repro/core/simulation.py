@@ -28,6 +28,7 @@ from repro.core.node import Node
 from repro.core.resource_manager import ResourceManager
 from repro.core.transaction_manager import TransactionManager
 from repro.core.workload import Source
+from repro.sanitizer import session as sanitizer_session
 from repro.sim.kernel import Environment
 from repro.sim.streams import RandomStreams
 
@@ -35,18 +36,48 @@ __all__ = ["Simulation", "run_simulation"]
 
 
 class Simulation:
-    """One fully wired simulation instance."""
+    """One fully wired simulation instance.
+
+    ``sanitizer`` selects the execution mode: ``None`` (the default)
+    auto-creates a :class:`~repro.sanitizer.core.Sanitizer` when a
+    sanitizer session is active (``$REPRO_SIMSAN=1`` or
+    ``repro.sanitizer.activate()``), ``False`` forces a clean run (the
+    differential confirmer's perturbed re-run uses this), and an
+    explicit instance is used as-is.  ``tiebreak`` selects the
+    same-timestamp dispatch order (``"fifo"`` default,
+    ``"reverse-batch"`` for the confirmer) and is mutually exclusive
+    with a sanitizer.
+    """
 
     def __init__(
-        self, config: SimulationConfig, auditor=None, tracer=None
+        self,
+        config: SimulationConfig,
+        auditor=None,
+        tracer=None,
+        sanitizer=None,
+        tiebreak=None,
     ):
         config.validate()
+        if sanitizer is None and sanitizer_session.sanitizing_active():
+            from repro.sanitizer.core import Sanitizer
+
+            sanitizer = Sanitizer(
+                confirm=sanitizer_session.confirm_enabled()
+            )
+            self._publish_findings = True
+        else:
+            self._publish_findings = False
+        if sanitizer is False:
+            sanitizer = None
+        self.sanitizer = sanitizer
         self.config = config
         self.auditor = auditor
         self.tracer = tracer
         self._measured_duration = config.duration
-        self.env = Environment()
+        self.env = Environment(sanitizer=sanitizer, tiebreak=tiebreak)
         self.streams = RandomStreams(config.seed)
+        if sanitizer is not None:
+            self.streams.attach_sanitizer(sanitizer)
         self.database = Database(
             config.database, config.num_proc_nodes
         )
@@ -137,8 +168,8 @@ class Simulation:
             resources.disks_per_node,
             resources.min_disk_time,
             resources.max_disk_time,
-            self.streams.get(f"disk-service-{node_id}"),
-            self.streams.get(f"disk-choice-{node_id}"),
+            self.streams.get(f"disk-service-{node_id}", owner="resources"),
+            self.streams.get(f"disk-choice-{node_id}", owner="resources"),
             resources.inst_per_update,
         )
 
@@ -176,9 +207,17 @@ class Simulation:
             self.env.run(until=self.env.now + config.duration)
         self._measured_duration = self.env.now - measure_start
         self.env.check_crashes()
-        if self.fault_injector is not None:
+        sanitizer = self.sanitizer
+        if self.fault_injector is not None and sanitizer is None:
             self.fault_injector.assert_no_leaks()
-        return self._build_result()
+        result = self._build_result()
+        if sanitizer is not None:
+            # Leak audit (stranded work becomes findings instead of an
+            # exception) + the differential race confirmer.
+            sanitizer.finish_run(self, result)
+            if self._publish_findings:
+                sanitizer_session.record_run(sanitizer.finalize())
+        return result
 
     def _reset_statistics(self) -> None:
         now = self.env.now

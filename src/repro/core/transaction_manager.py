@@ -110,7 +110,10 @@ class TransactionManager:
             self._decision_timeout = fault_config.decision_timeout
             self._ack_timeout = fault_config.ack_timeout
             self._retry_backoff = RetryBackoff(
-                streams.get("fault-retry-backoff"),
+                streams.get(
+                    "fault-retry-backoff",
+                    owner="transaction-manager",
+                ),
                 fault_config.retry_backoff_base,
                 fault_config.retry_backoff_multiplier,
                 fault_config.retry_backoff_cap,
@@ -250,7 +253,9 @@ class TransactionManager:
             mean = self._observed_response.mean
         else:
             mean = self.config.workload.initial_restart_delay
-        return self.streams.exponential("restart-delay", mean)
+        return self.streams.exponential(
+            "restart-delay", mean, owner="transaction-manager"
+        )
 
     def _attempt(self, transaction: Transaction):
         """One execution attempt; returns True on commit."""

@@ -94,10 +94,18 @@ class Source:
         # Hot-path stream handles: the named-stream lookups below are
         # made once here instead of per draw.  Streams are seeded by
         # name, so grabbing them eagerly changes no draw sequence.
-        self._page_count_stream = streams.get("page-count")
-        self._page_choice_stream = streams.get("page-choice")
-        self._write_coin_stream = streams.get("write-coin")
-        self._inst_draw = streams.get("inst-per-page").expovariate
+        self._page_count_stream = streams.get(
+            "page-count", owner="workload"
+        )
+        self._page_choice_stream = streams.get(
+            "page-choice", owner="workload"
+        )
+        self._write_coin_stream = streams.get(
+            "write-coin", owner="workload"
+        )
+        self._inst_draw = streams.get(
+            "inst-per-page", owner="workload"
+        ).expovariate
         # Per-terminal think-stream handles, created on first draw.  At
         # 10^5+ terminals, materialising every stream up front costs
         # O(terminals) startup work for terminals that may never think;
@@ -180,7 +188,8 @@ class Source:
                 placed.append((copy_nodes[0], access))
                 continue
             read_index = self.streams.uniform_int(
-                "copy-choice", 0, len(copy_nodes) - 1
+                "copy-choice", 0, len(copy_nodes) - 1,
+                owner="workload",
             )
             placed.append((copy_nodes[read_index], access))
             if access.is_update:
@@ -208,7 +217,7 @@ class Source:
         if count == total:
             return range(total)
         chosen = self.streams.sample_without_replacement(
-            "file-choice", total, count
+            "file-choice", total, count, owner="workload"
         )
         return sorted(chosen)
 
@@ -258,7 +267,9 @@ class Source:
             return 0.0
         draw = self._think_draws.get(terminal)
         if draw is None:
-            draw = self.streams.get(f"think-{terminal}").expovariate
+            draw = self.streams.get(
+                f"think-{terminal}", owner="workload"
+            ).expovariate
             self._think_draws[terminal] = draw
         return draw(self._inv_think)
 

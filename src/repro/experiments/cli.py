@@ -122,6 +122,15 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not read or write the persistent result cache",
     )
+    run_parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help=(
+            "run under the determinism sanitizer (repro.sanitizer): "
+            "serial, cache-blind, ~2-5x slower; prints a findings "
+            "report after the tables and fails on unwaived findings"
+        ),
+    )
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or maintain the persistent result cache"
     )
@@ -298,37 +307,57 @@ def main(argv: Optional[List[str]] = None) -> int:
     if ids == ["all"]:
         ids = list(EXPERIMENTS)
     exit_code = 0
-    for experiment_id in ids:
-        try:
-            experiment = get_experiment(experiment_id)
-        except KeyError as error:
-            print(error, file=sys.stderr)
-            exit_code = 2
-            continue
-        started = time.time()
-        figures = experiment.run(fidelity)
-        elapsed = time.time() - started
-        chunks = [format_table(figure) for figure in figures]
-        if arguments.chart:
-            chunks.extend(
-                render_chart(figure) for figure in figures
-            )
-        body = "\n\n".join(chunks)
-        print(f"=== {experiment.id} ({elapsed:.1f}s wall, "
-              f"fidelity={fidelity.name}) ===")
-        print(body)
-        print()
-        if arguments.out is not None:
-            arguments.out.mkdir(parents=True, exist_ok=True)
-            path = arguments.out / f"{experiment.id}.txt"
-            path.write_text(body + "\n", encoding="utf-8")
-            write_figures(
-                figures,
-                arguments.out,
-                experiment.id,
-                csv_output=arguments.csv,
-                json_output=arguments.json,
-            )
+    sanitize = getattr(arguments, "sanitize", False)
+    if sanitize:
+        from repro.sanitizer import session as sanitizer_session
+
+        sanitizer_session.reset_findings()
+        sanitizer_session.activate()
+    try:
+        for experiment_id in ids:
+            try:
+                experiment = get_experiment(experiment_id)
+            except KeyError as error:
+                print(error, file=sys.stderr)
+                exit_code = 2
+                continue
+            started = time.time()
+            figures = experiment.run(fidelity)
+            elapsed = time.time() - started
+            chunks = [format_table(figure) for figure in figures]
+            if arguments.chart:
+                chunks.extend(
+                    render_chart(figure) for figure in figures
+                )
+            body = "\n\n".join(chunks)
+            print(f"=== {experiment.id} ({elapsed:.1f}s wall, "
+                  f"fidelity={fidelity.name}) ===")
+            print(body)
+            print()
+            if arguments.out is not None:
+                arguments.out.mkdir(parents=True, exist_ok=True)
+                path = arguments.out / f"{experiment.id}.txt"
+                path.write_text(body + "\n", encoding="utf-8")
+                write_figures(
+                    figures,
+                    arguments.out,
+                    experiment.id,
+                    csv_output=arguments.csv,
+                    json_output=arguments.json,
+                )
+    finally:
+        if sanitize:
+            sanitizer_session.deactivate()
+    if sanitize:
+        from repro.sanitizer.report import build_report, render
+
+        report = build_report(
+            sanitizer_session.session_findings(),
+            runs=sanitizer_session.session_runs(),
+        )
+        print(render(report, "text", show_suppressed=False))
+        if not report.ok:
+            exit_code = exit_code or 1
     stats = runner.cache_stats()
     summary = (
         f"cache: {stats['simulated']} simulated, "

@@ -40,6 +40,15 @@ Result reuse is layered:
 ``jobs=1`` preserves the fully serial in-process path (no pool, no
 serialization); ``jobs=None`` resolves ``$REPRO_JOBS`` and falls back
 to ``os.cpu_count()``.
+
+Sanitized runs (``repro.sanitizer``) bypass every reuse layer in both
+directions: a sanitized sweep neither reads results cached by clean
+runs (the instrumented execution must actually execute) nor writes
+entries a later clean run could pick up (cache keys hash the sources,
+not the execution mode, so a poisoned entry would be indistinguishable
+from a clean one).  They also stay serial and in-process so findings
+accumulate in this process's sanitizer session instead of dying with
+pool workers.
 """
 
 from __future__ import annotations
@@ -64,6 +73,7 @@ from repro.experiments.result_cache import (
     decode_result,
     encode_result,
 )
+from repro.sanitizer.session import sanitizing_active
 
 __all__ = [
     "ExecutorStats",
@@ -181,6 +191,12 @@ def _run_chunk(
     persists even if the sweep is interrupted before assembly.
     """
     cache = ResultCache(Path(cache_dir)) if cache_dir else None
+    if sanitizing_active():
+        # Defense in depth: the parent already routes sanitized sweeps
+        # away from the pool, but $REPRO_SIMSAN is inherited by
+        # workers, and a sanitized result must never be written where
+        # a clean run would read it.
+        cache = None
     payloads: List[str] = []
     started = time.perf_counter()
     for offset, config in enumerate(configs):
@@ -298,6 +314,10 @@ class SweepExecutor:
 
         Always in-process: a single point gains nothing from a pool.
         """
+        if sanitizing_active():
+            result = _simulate(config)
+            self.stats.simulated += 1
+            return result
         result = self._lookup(config)
         if result is None:
             result = _simulate(config)
@@ -319,6 +339,8 @@ class SweepExecutor:
         :class:`SweepExecutionError` rather than yielding a partial
         grid.
         """
+        if sanitizing_active():
+            return self._run_sanitized_batch(configs)
         jobs = resolve_jobs(self.jobs if jobs is None else jobs)
         missing: List[SimulationConfig] = []
         missing_set: Set[SimulationConfig] = set()
@@ -348,6 +370,31 @@ class SweepExecutor:
         # memo lookups below are repeats of _lookup hits already counted
         # above, so read the memo directly to keep stats meaningful.
         return [self._memo[config] for config in configs]
+
+    def _run_sanitized_batch(
+        self, configs: Sequence[SimulationConfig]
+    ) -> List[SimulationResult]:
+        """Serial, cache-blind execution for a sanitized sweep.
+
+        The memo here is local to one batch: it only collapses exact
+        duplicates *within* the request (re-sanitizing the same config
+        twice would double-count findings) and is dropped on return,
+        so no sanitized result outlives the sweep that produced it.
+        """
+        local: Dict[SimulationConfig, SimulationResult] = {}
+        results: List[SimulationResult] = []
+        for config in configs:
+            result = local.get(config)
+            if result is None:
+                config.validate()
+                try:
+                    result = _simulate(config)
+                except Exception as cause:
+                    raise SweepExecutionError(config, cause) from cause
+                self.stats.simulated += 1
+                local[config] = result
+            results.append(result)
+        return results
 
     def _run_pool(
         self, missing: List[SimulationConfig], jobs: int

@@ -207,13 +207,15 @@ class FaultSchedule:
                 clock = 0.0
                 while True:
                     clock += streams.exponential(
-                        f"fault-crash-{node}", config.node_mtbf
+                        f"fault-crash-{node}", config.node_mtbf,
+                        owner="faults",
                     )
                     if clock >= horizon:
                         break
                     events.append(FaultEvent(clock, CRASH, node))
                     clock += streams.exponential(
-                        f"fault-repair-{node}", config.node_mttr
+                        f"fault-repair-{node}", config.node_mttr,
+                        owner="faults",
                     )
                     if clock >= horizon:
                         break
@@ -229,14 +231,16 @@ class FaultSchedule:
 
     def drop_message(self) -> bool:
         """One Bernoulli loss decision for a candidate message."""
-        return self._streams.bernoulli("fault-msg-loss", self._loss_p)
+        return self._streams.bernoulli(
+            "fault-msg-loss", self._loss_p, owner="faults"
+        )
 
     def message_delay(self) -> float:
         """Extra wire delay for a candidate message (0.0 = none)."""
         if not self._streams.bernoulli(
-            "fault-msg-delay", self._delay_p
+            "fault-msg-delay", self._delay_p, owner="faults"
         ):
             return 0.0
         return self._streams.exponential(
-            "fault-msg-delay-time", self._delay_mean
+            "fault-msg-delay-time", self._delay_mean, owner="faults"
         )

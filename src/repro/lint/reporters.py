@@ -87,15 +87,19 @@ def render_json(report: LintReport) -> str:
 
 
 def render_sarif(
-    report: LintReport, rules: Optional[list] = None
+    report: LintReport,
+    rules: Optional[list] = None,
+    driver_name: str = "simlint",
 ) -> str:
-    """SARIF 2.1.0 rendering (one run, driver ``simlint``).
+    """SARIF 2.1.0 rendering (one run, driver ``driver_name``).
 
     ``rules`` is the list of rule objects that ran (file and project
-    rules together); None means every registered rule.  Waived
-    findings are emitted with a ``suppressions`` entry (``inSource``
-    for inline comments, ``external`` for baseline waivers) so code
-    scanners show them as dismissed instead of dropping them.
+    rules together); None means every registered rule.  The runtime
+    sanitizer reuses this renderer with its check descriptors and
+    ``driver_name="simsan"``.  Waived findings are emitted with a
+    ``suppressions`` entry (``inSource`` for inline comments,
+    ``external`` for baseline waivers) so code scanners show them as
+    dismissed instead of dropping them.
     """
     if rules is None:
         from repro.lint.registry import all_project_rules, all_rules
@@ -161,7 +165,7 @@ def render_sarif(
             {
                 "tool": {
                     "driver": {
-                        "name": "simlint",
+                        "name": driver_name,
                         "rules": descriptors,
                     }
                 },

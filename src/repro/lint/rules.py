@@ -19,6 +19,13 @@ hit) while keeping figure replications seed-stable:
     Iterating a ``set`` where schedules, grants, or victims are decided
     makes the outcome hash-order-dependent; wrap in ``sorted()`` with
     an explicit key.
+``unordered-dict-iteration``
+    Iterating a dict (or its ``items()``/``keys()``/``values()`` views)
+    where schedules, grants, or victims are decided couples the outcome
+    to insertion history rather than a canonical order — and key-view
+    set algebra (``d.keys() - e``) is outright hash-ordered.  Warning
+    severity: insertion order *is* deterministic, so intended uses
+    carry a waiver naming that intent instead of a sort.
 ``float-time-equality``
     ``==`` / ``!=`` on simulated-time floats is only sound when both
     sides are copies of the same scheduled value; anywhere else it
@@ -64,6 +71,7 @@ __all__ = [
     "IdKeyedContainerRule",
     "ProcessProtocolRule",
     "ResidentTerminalProcessRule",
+    "UnorderedDictIterationRule",
     "UnorderedSetIterationRule",
     "UnseededGlobalRandomRule",
     "WallClockRule",
@@ -403,6 +411,184 @@ class UnorderedSetIterationRule(Rule):
                 continue
             yield node
             stack.extend(ast.iter_child_nodes(node))
+
+
+#: Dict view accessors whose iteration order is the insertion history.
+_DICT_VIEW_METHODS = frozenset({"items", "keys", "values"})
+
+#: Builtins whose result cannot depend on the iteration order of a
+#: comprehension argument; a dict iterated inside one is harmless.
+_ORDER_FREE_CONSUMERS = frozenset(
+    {"all", "any", "sum", "min", "max", "len", "set", "frozenset",
+     "sorted"}
+)
+
+
+class _DictlikeTracker(ast.NodeVisitor):
+    """Per-function map of local names bound to dict-valued expressions."""
+
+    def __init__(self) -> None:
+        self.dictlike_names: Set[str] = set()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if _is_dictlike(node.value, self.dictlike_names):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.dictlike_names.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None and _is_dictlike(
+            node.value, self.dictlike_names
+        ):
+            if isinstance(node.target, ast.Name):
+                self.dictlike_names.add(node.target.id)
+        self.generic_visit(node)
+
+    # Name resolution stays within one function body.
+    def visit_FunctionDef(self, node) -> None:  # pragma: no cover
+        pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+    visit_Lambda = visit_FunctionDef
+
+
+def _is_dict_view_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _DICT_VIEW_METHODS
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _is_dictlike(
+    node: ast.AST, local_names: Optional[Set[str]] = None
+) -> bool:
+    """Whether ``node`` is syntactically a ``dict`` expression.
+
+    Recognizes dict displays/comprehensions, ``dict(...)`` /
+    ``defaultdict(...)`` / ``Counter(...)`` / ``OrderedDict(...)``
+    calls, ``d.get(k, {})`` / ``d.pop(k, {})`` (the dict-valued default
+    makes the result a dict), and — when ``local_names`` is supplied —
+    local variables previously bound to one of the above.
+    """
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in (
+            "dict",
+            "defaultdict",
+            "Counter",
+            "OrderedDict",
+        ):
+            return True
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("get", "pop")
+            and any(_is_dictlike(arg) for arg in node.args)
+        ):
+            return True
+    if (
+        local_names is not None
+        and isinstance(node, ast.Name)
+        and node.id in local_names
+    ):
+        return True
+    return False
+
+
+@register
+class UnorderedDictIterationRule(Rule):
+    """Dict iteration where schedules and victims are decided."""
+
+    rule_id = "unordered-dict-iteration"
+    summary = (
+        "iteration order of a dict is its insertion history, not a "
+        "canonical order; where grants, victims, or wakeups are "
+        "decided this couples the outcome to arrival order — iterate "
+        "sorted(...) with an explicit key, or waive with the reason "
+        "the insertion order is the intended one"
+    )
+    severity = "warning"
+    version = 1
+    include = ("repro/cc/", "repro/sim/", "repro/core/")
+
+    def check(self, tree, source, path):
+        violations: List[Violation] = []
+        exempt = self._order_free_comprehensions(tree)
+        scopes: List[ast.AST] = [tree]
+        for node in ast.walk(tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                scopes.append(node)
+        for scope in scopes:
+            tracker = _DictlikeTracker()
+            for statement in scope.body:
+                tracker.visit(statement)
+            names = tracker.dictlike_names
+            for node in UnorderedSetIterationRule._iter_scope(scope):
+                iterables: List[ast.AST] = []
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    iterables.append(node.iter)
+                elif isinstance(
+                    node,
+                    (
+                        ast.ListComp,
+                        ast.SetComp,
+                        ast.DictComp,
+                        ast.GeneratorExp,
+                    ),
+                ) and node not in exempt:
+                    iterables.extend(
+                        generator.iter
+                        for generator in node.generators
+                    )
+                for iterable in iterables:
+                    if self._is_dict_ordered(iterable, names):
+                        violations.append(
+                            self.violation(path, iterable)
+                        )
+        return violations
+
+    @staticmethod
+    def _is_dict_ordered(
+        node: ast.AST, names: Set[str]
+    ) -> bool:
+        """Iterables whose order is a dict's insertion history (or, for
+        key-view set algebra, hash order)."""
+        if _is_dict_view_call(node) or _is_dictlike(node, names):
+            return True
+        # d.keys() | e, d.keys() - e, ...: KeysView set algebra
+        # produces a plain *unordered* set.
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return _is_dict_view_call(node.left) or _is_dict_view_call(
+                node.right
+            )
+        return False
+
+    @staticmethod
+    def _order_free_comprehensions(tree: ast.AST) -> Set[ast.AST]:
+        """Comprehensions consumed by order-insensitive builtins."""
+        exempt: Set[ast.AST] = set()
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _ORDER_FREE_CONSUMERS
+                and len(node.args) == 1
+                and isinstance(
+                    node.args[0],
+                    (ast.ListComp, ast.SetComp, ast.GeneratorExp),
+                )
+            ):
+                exempt.add(node.args[0])
+        return exempt
 
 
 _TIME_ATTRS = frozenset({"now", "time"})

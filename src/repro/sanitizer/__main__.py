@@ -1,0 +1,8 @@
+"""Module entry point: ``python -m repro.sanitizer``."""
+
+import sys
+
+from repro.sanitizer.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""Check descriptors for the runtime sanitizer.
+
+Mirrors the shape the lint reporters expect from a rule: each check
+exposes ``rule_id``, ``summary``, and a default ``severity``, so a
+simsan report can be rendered by :func:`repro.lint.reporters.render_text`
+/ ``render_json`` / ``render_sarif`` unchanged.  Individual findings may
+carry a different severity than the check default (the differential
+confirmer upgrades outcome-changing races to errors and downgrades
+benign-commutative ones to warnings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+SAME_TIME_RACE = "same-time-race"
+STREAM_DISCIPLINE = "stream-discipline"
+HANDLE_LIFECYCLE = "handle-lifecycle"
+LEAK_AUDIT = "leak-audit"
+
+
+@dataclass(frozen=True)
+class Check:
+    """Descriptor for one runtime checker (reporter-compatible)."""
+
+    rule_id: str
+    summary: str
+    severity: str
+
+
+CHECKS: Tuple[Check, ...] = (
+    Check(
+        rule_id=SAME_TIME_RACE,
+        summary=(
+            "two same-timestamp events touched the same kernel-visible "
+            "mutable state and their relative order is decided only by "
+            "the scheduling sequence number"
+        ),
+        severity="warning",
+    ),
+    Check(
+        rule_id=STREAM_DISCIPLINE,
+        summary=(
+            "a runtime stream draw bypassed the register_stream registry "
+            "or crossed its declared component ownership"
+        ),
+        severity="error",
+    ),
+    Check(
+        rule_id=HANDLE_LIFECYCLE,
+        summary=(
+            "a scheduled-callback handle was cancelled after dispatch or "
+            "cancelled twice — under pooling this corrupts a recycled "
+            "handle belonging to an unrelated event"
+        ),
+        severity="error",
+    ),
+    Check(
+        rule_id=LEAK_AUDIT,
+        summary=(
+            "end-of-run audit: an orphaned process, undelivered courier, "
+            "stranded cohort, or unreaped cancelled handle survived the "
+            "simulation"
+        ),
+        severity="error",
+    ),
+)
+
+_BY_ID: Dict[str, Check] = {check.rule_id: check for check in CHECKS}
+
+
+def get_check(rule_id: str) -> Check:
+    return _BY_ID[rule_id]
+
+
+def is_check_id(rule_id: str) -> bool:
+    return rule_id in _BY_ID

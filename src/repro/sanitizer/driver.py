@@ -1,0 +1,29 @@
+"""Convenience drivers for one-off sanitized runs.
+
+The experiments pipeline activates a process-global session
+(:mod:`repro.sanitizer.session`) instead; this module is for direct
+callers — tests, CI invariant scripts, notebooks — that want one
+configuration sanitized and the findings in hand.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.lint.violations import Violation
+from repro.sanitizer.core import Sanitizer
+
+
+def run_sanitized(config, confirm: bool = True) -> Tuple[object, List[Violation]]:
+    """Run ``config`` under a fresh sanitizer.
+
+    Returns ``(SimulationResult, findings)``.  The result is
+    bit-identical to a clean run of the same config — the hooks only
+    observe — which is what lets the differential confirmer diff the
+    perturbed re-run against it.
+    """
+    from repro.core.simulation import Simulation
+
+    sanitizer = Sanitizer(confirm=confirm)
+    result = Simulation(config, sanitizer=sanitizer).run()
+    return result, sanitizer.finalize()

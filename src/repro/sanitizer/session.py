@@ -1,0 +1,89 @@
+"""Process-global sanitizer session.
+
+The experiments layer runs simulations behind several indirections
+(registry -> runner -> executor -> ``Simulation``), so the CLI entry
+points can't thread a :class:`~repro.sanitizer.core.Sanitizer` instance
+through by hand.  Instead they *activate* a session here;
+``Simulation`` consults :func:`sanitizing_active` when no explicit
+sanitizer argument was given, auto-creates one per run, and publishes
+its findings back into this module.  ``$REPRO_SIMSAN=1`` activates the
+session from the environment without touching any call site.
+
+The result cache is keyed for clean runs only, so
+:meth:`repro.experiments.executor.SweepExecutor` also consults
+:func:`sanitizing_active` to bypass both its in-memory memo and the
+disk cache (read *and* write) while a session is live — a cache hit
+would silently skip instrumentation, and a sanitized run must never
+populate entries a clean run could later trust.
+
+This module stays import-light (stdlib only) because the executor and
+its worker processes import it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+_active = False
+_confirm = True
+_findings: List[object] = []
+_runs = 0
+
+
+def env_enabled() -> bool:
+    """True when ``$REPRO_SIMSAN`` asks for sanitized execution."""
+    return os.environ.get("REPRO_SIMSAN", "").strip().lower() in _TRUTHY
+
+
+def sanitizing_active() -> bool:
+    """True when sanitized execution is requested for this process."""
+    return _active or env_enabled()
+
+
+def confirm_enabled() -> bool:
+    """Whether auto-created sanitizers run the differential confirmer."""
+    if os.environ.get("REPRO_SIMSAN_CONFIRM", "").strip().lower() in ("0", "false", "no", "off"):
+        return False
+    return _confirm
+
+
+def activate(confirm: bool = True) -> None:
+    """Turn on sanitized execution for every subsequent ``Simulation``."""
+    global _active, _confirm
+    _active = True
+    _confirm = confirm
+
+
+def deactivate() -> None:
+    global _active, _confirm
+    _active = False
+    _confirm = True
+
+
+def record_run(findings) -> None:
+    """Publish one sanitized run's findings into the session."""
+    global _runs
+    _runs += 1
+    seen = {(v.rule_id, v.path, v.line, v.message) for v in _findings}
+    for violation in findings:
+        key = (violation.rule_id, violation.path, violation.line, violation.message)
+        if key not in seen:
+            seen.add(key)
+            _findings.append(violation)
+
+
+def session_findings() -> List[object]:
+    return list(_findings)
+
+
+def session_runs() -> int:
+    return _runs
+
+
+def reset_findings() -> None:
+    global _runs
+    _findings.clear()
+    _runs = 0

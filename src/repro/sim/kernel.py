@@ -97,6 +97,11 @@ def _scheduler_default() -> str:
     return value
 
 
+def _handle_seq(handle: "ScheduledCallback") -> int:
+    """Sort key for perturbed-tie-break batches."""
+    return handle.seq
+
+
 def _gc_pause_default() -> bool:
     """GC is paused inside ``run()`` unless ``REPRO_KERNEL_GC_PAUSE=0``.
 
@@ -373,6 +378,9 @@ class Process(Waitable):
         self._waiting_on: Optional[Waitable] = None
         self._watchers: list[Process] = []
         self._resuming = False
+        san = env._san
+        if san is not None:
+            san.note_process(self)
         env.schedule_now(self._start)
 
     def _start(self) -> None:
@@ -657,6 +665,9 @@ class Mailbox:
 
     def put(self, item: Any) -> None:
         """Deposit an item, waking the oldest pending getter if any."""
+        san = self.env._san
+        if san is not None:
+            san.write(("mailbox", self))
         if self._getters:
             self._getters.popleft().succeed(item)
         else:
@@ -664,6 +675,9 @@ class Mailbox:
 
     def get(self) -> Event:
         """An event that fires with the next item."""
+        san = self.env._san
+        if san is not None:
+            san.write(("mailbox", self))
         event = Event(self.env)
         if self._items:
             event.succeed(self._items.popleft())
@@ -694,6 +708,8 @@ class Environment:
         "_gc_pause",
         "_timeout_pool",
         "_handle_pool",
+        "_san",
+        "_tiebreak",
         "dispatch_count",
     )
 
@@ -701,6 +717,8 @@ class Environment:
         self,
         fast_lane: Optional[bool] = None,
         scheduler: Optional[str] = None,
+        sanitizer: Optional[Any] = None,
+        tiebreak: Optional[str] = None,
     ):
         self.now = 0.0
         self._heap: list[ScheduledCallback] = []
@@ -725,6 +743,28 @@ class Environment:
         self._gc_pause = _gc_pause_default()
         self._timeout_pool: list[Timeout] = []
         self._handle_pool: list[ScheduledCallback] = []
+        # Runtime sanitizer (repro.sanitizer); None on the clean path so
+        # every hook is one attribute load and a predictable branch.
+        if tiebreak not in (None, "fifo", "reverse-batch"):
+            raise ValueError(
+                f"tiebreak={tiebreak!r}; expected 'fifo' or 'reverse-batch'"
+            )
+        if tiebreak == "fifo":
+            tiebreak = None
+        if not sanitizer:
+            # False is accepted as an explicit "off" (the differential
+            # confirmer forces it for its perturbed re-run).
+            sanitizer = None
+        if sanitizer is not None and tiebreak is not None:
+            raise SimulationError(
+                "sanitizer and a non-FIFO tiebreak are mutually "
+                "exclusive: the race detector's footprint model assumes "
+                "the kernel's documented FIFO seq order"
+            )
+        self._san = sanitizer
+        self._tiebreak = tiebreak
+        if sanitizer is not None:
+            sanitizer.attach_env(self)
         self.dispatch_count = 0
 
     @property
@@ -745,18 +785,24 @@ class Environment:
             raise SimulationError(f"negative delay: {delay!r}")
         seq = self._seq
         self._seq = seq + 1
-        pool = self._handle_pool
-        if pool:
-            handle = pool.pop()
-            handle.time = self.now + delay
-            handle.seq = seq
-            handle.callback = callback
-            handle.args = args
-            handle.cancelled = False
+        san = self._san
+        if san is not None:
+            # Sanitized handles are never pooled: stable identity is
+            # what makes lifecycle misuse detectable.
+            handle = san.new_handle(self.now + delay, seq, callback, args)
         else:
-            handle = ScheduledCallback(
-                self.now + delay, seq, callback, args
-            )
+            pool = self._handle_pool
+            if pool:
+                handle = pool.pop()
+                handle.time = self.now + delay
+                handle.seq = seq
+                handle.callback = callback
+                handle.args = args
+                handle.cancelled = False
+            else:
+                handle = ScheduledCallback(
+                    self.now + delay, seq, callback, args
+                )
         if delay == 0.0 and self._fast_enabled:
             self._fast.append(handle)
         elif self._cal is not None:
@@ -775,16 +821,20 @@ class Environment:
         """
         seq = self._seq
         self._seq = seq + 1
-        pool = self._handle_pool
-        if pool:
-            handle = pool.pop()
-            handle.time = self.now
-            handle.seq = seq
-            handle.callback = callback
-            handle.args = args
-            handle.cancelled = False
+        san = self._san
+        if san is not None:
+            handle = san.new_handle(self.now, seq, callback, args)
         else:
-            handle = ScheduledCallback(self.now, seq, callback, args)
+            pool = self._handle_pool
+            if pool:
+                handle = pool.pop()
+                handle.time = self.now
+                handle.seq = seq
+                handle.callback = callback
+                handle.args = args
+                handle.cancelled = False
+            else:
+                handle = ScheduledCallback(self.now, seq, callback, args)
         if self._fast_enabled:
             self._fast.append(handle)
         elif self._cal is not None:
@@ -814,6 +864,10 @@ class Environment:
         return Timeout(self, delay, value)
 
     def _recycle_timeout(self, timeout: Timeout) -> None:
+        if self._san is not None:
+            # No pooling under the sanitizer: recycled waitables would
+            # alias unrelated events and confuse lifecycle tracking.
+            return
         pool = self._timeout_pool
         if len(pool) < _TIMEOUT_POOL_LIMIT:
             pool.append(timeout)
@@ -843,6 +897,12 @@ class Environment:
         needs the sequence number when a scheduler entry is due at the
         same instant.
         """
+        if self._san is not None:
+            self._run_sanitized(until)
+            return
+        if self._tiebreak is not None:
+            self._run_perturbed(until)
+            return
         if self._cal is not None:
             self._run_calendar(until)
             return
@@ -969,6 +1029,152 @@ class Environment:
                 handle.args = ()
                 if len(pool) < _HANDLE_POOL_LIMIT:
                     pool_append(handle)
+        finally:
+            self.dispatch_count = dispatched
+            if pause_gc:
+                gc.enable()
+        if until is not None and until > self.now:
+            self.now = until
+
+    def _run_sanitized(self, until: Optional[float]) -> None:
+        """The :meth:`run` dispatch loop with sanitizer hooks.
+
+        Semantically identical to the clean loops — same fast-lane
+        interleave, same exact ``(time, seq)`` order over either
+        scheduler — but with no handle/timeout pooling, no GC pause,
+        and begin/end/advance/reap notifications into the sanitizer.
+        It is a separate loop precisely so the clean paths carry zero
+        per-event sanitizer cost.
+        """
+        san = self._san
+        cal = self._cal
+        heap = self._heap
+        fast = self._fast
+        heappop = heapq.heappop
+        now = self.now
+        dispatched = self.dispatch_count
+        try:
+            while True:
+                if fast:
+                    handle = fast[0]
+                    if cal is not None:
+                        top = cal.peek()
+                    else:
+                        top = heap[0] if heap else None
+                    # Exact: see the clean loops — stored schedule
+                    # times, equality means "same instant".
+                    if (
+                        top is not None
+                        and top.time == now  # simlint: ignore[float-time-equality]
+                        and top.seq < handle.seq
+                    ):
+                        handle = top
+                        if cal is not None:
+                            cal.pop()
+                        else:
+                            heappop(heap)
+                    else:
+                        fast.popleft()
+                else:
+                    if cal is not None:
+                        handle = cal.peek()
+                        if handle is None:
+                            break
+                    elif heap:
+                        handle = heap[0]
+                    else:
+                        break
+                    if until is not None and handle.time > until:
+                        self.now = until
+                        return
+                    if cal is not None:
+                        cal.pop()
+                    else:
+                        heappop(heap)
+                if handle.cancelled:
+                    san.note_reaped(handle)
+                    continue
+                time = handle.time
+                # Exact: see the clean loops.
+                if time != now:  # simlint: ignore[float-time-equality]
+                    now = time
+                    self.now = time
+                    san.advance_time(time)
+                dispatched += 1
+                san.begin_event(handle)
+                try:
+                    handle.callback(*handle.args)
+                finally:
+                    san.end_event(handle)
+        finally:
+            self.dispatch_count = dispatched
+        if until is not None and until > self.now:
+            self.now = until
+
+    def _run_perturbed(self, until: Optional[float]) -> None:
+        """The :meth:`run` loop under the ``reverse-batch`` tie-break.
+
+        Used by the sanitizer's differential confirmer: at each
+        timestamp, the batch of currently-queued callbacks executes in
+        *descending* seq order instead of FIFO.  Work a batch member
+        schedules at the same timestamp lands in the *next* batch, so
+        children still run after their parents (causality is
+        preserved), every callback still runs exactly once at its
+        scheduled time, and the loop terminates exactly like FIFO
+        dispatch — only the order among causally-unrelated same-time
+        events is permuted.  Deterministic: batches are sorted by seq.
+        """
+        cal = self._cal
+        heap = self._heap
+        fast = self._fast
+        heappop = heapq.heappop
+        pool = self._handle_pool
+        pool_append = pool.append
+        dispatched = self.dispatch_count
+        pause_gc = self._gc_pause and gc.isenabled()
+        if pause_gc:
+            gc.disable()
+        try:
+            while True:
+                if not fast:
+                    top = cal.peek() if cal is not None else (
+                        heap[0] if heap else None
+                    )
+                    if top is None:
+                        break
+                    if until is not None and top.time > until:
+                        self.now = until
+                        return
+                    # Exact: stored schedule times (see clean loops).
+                    if top.time != self.now:  # simlint: ignore[float-time-equality]
+                        self.now = top.time
+                # Gather the whole batch due at the current instant.
+                batch = list(fast)
+                fast.clear()
+                now = self.now
+                while True:
+                    top = cal.peek() if cal is not None else (
+                        heap[0] if heap else None
+                    )
+                    # Exact: stored schedule times (see clean loops).
+                    if top is None or top.time != now:  # simlint: ignore[float-time-equality]
+                        break
+                    batch.append(top)
+                    if cal is not None:
+                        cal.pop()
+                    else:
+                        heappop(heap)
+                batch.sort(key=_handle_seq, reverse=True)
+                for handle in batch:
+                    # Re-checked per handle: a batch member may cancel
+                    # a later (lower-seq) member of the same batch.
+                    if not handle.cancelled:
+                        dispatched += 1
+                        handle.callback(*handle.args)
+                    handle.callback = None
+                    handle.args = ()
+                    if len(pool) < _HANDLE_POOL_LIMIT:
+                        pool_append(handle)
         finally:
             self.dispatch_count = dispatched
             if pause_gc:

@@ -96,6 +96,9 @@ class CPU:
 
     def execute(self, instructions: float) -> Event:
         """Submit processor-sharing work; the event fires on completion."""
+        san = self.env._san
+        if san is not None:
+            san.write(("cpu", self))
         event = self.env.event()
         seconds = instructions / self._instructions_per_second
         if seconds <= 0.0:
@@ -112,6 +115,9 @@ class CPU:
 
     def execute_message(self, instructions: float) -> Event:
         """Submit high-priority FIFO message-processing work."""
+        san = self.env._san
+        if san is not None:
+            san.write(("cpu", self))
         event = self.env.event()
         seconds = instructions / self._instructions_per_second
         if seconds <= 0.0:
@@ -129,6 +135,9 @@ class CPU:
         and non-preemptive); queued message work is not cancellable
         either, because nothing in the model ever abandons a message.
         """
+        san = self.env._san
+        if san is not None:
+            san.write(("cpu", self))
         job = self._ps_jobs.pop(event, None)
         if job is None or job.cancelled:
             return False
@@ -291,6 +300,9 @@ class Disk:
 
     def access(self, kind: DiskRequestKind) -> Event:
         """Queue an access; the event fires when the transfer completes."""
+        san = self.env._san
+        if san is not None:
+            san.write(("disk", self))
         request = _DiskRequest(kind, self.env.event())
         if kind is DiskRequestKind.WRITE:
             self._write_queue.append(request)
@@ -302,6 +314,9 @@ class Disk:
 
     def cancel(self, event: Event) -> bool:
         """Cancel a *queued* request; in-service transfers complete."""
+        san = self.env._san
+        if san is not None:
+            san.write(("disk", self))
         for queue in (self._write_queue, self._read_queue):
             for request in queue:
                 if request.event is event and not request.cancelled:

@@ -37,6 +37,7 @@ __all__ = [
     "is_registered",
     "register_stream",
     "registered_streams",
+    "stream_owner",
 ]
 
 
@@ -55,18 +56,28 @@ def derive_seed(master_seed: int, name: str) -> int:
 #: Registered name/pattern -> one-line description.
 STREAM_REGISTRY: Dict[str, str] = {}
 
+#: Registered name/pattern -> owning component ("" = unowned).  The
+#: runtime sanitizer checks each draw's declared component against this
+#: ownership; a draw from a stream another component owns entangles
+#: sequences that the common-random-numbers discipline needs
+#: independent.
+STREAM_OWNERS: Dict[str, str] = {}
+
 _PLACEHOLDER_RE = re.compile(r"\{[^{}]*\}")
 _PATTERN_CACHE: Dict[str, "re.Pattern[str]"] = {}
 
 
-def register_stream(name: str, description: str = "") -> str:
+def register_stream(name: str, description: str = "", owner: str = "") -> str:
     """Declare a canonical stream name (or ``{placeholder}`` family).
 
     Returns ``name`` so call sites can register and use in one
     expression.  Re-registering the same name overwrites the
-    description (idempotent for module re-imports).
+    description (idempotent for module re-imports).  ``owner`` names
+    the component allowed to draw from the stream (enforced at runtime
+    by the sanitizer's stream-discipline checker; empty = any).
     """
     STREAM_REGISTRY[name] = description
+    STREAM_OWNERS[name] = owner
     return name
 
 
@@ -98,6 +109,22 @@ def is_registered(name: str) -> bool:
     )
 
 
+def stream_owner(name: str) -> str:
+    """Declared owning component for a concrete stream name ("" = any).
+
+    Exact registrations win; otherwise the first matching
+    ``{placeholder}`` family (in sorted pattern order, for stability)
+    provides the owner.
+    """
+    owner = STREAM_OWNERS.get(name)
+    if owner is not None:
+        return owner
+    for pattern in sorted(STREAM_OWNERS):
+        if _compile(pattern).fullmatch(name) is not None:
+            return STREAM_OWNERS[pattern]
+    return ""
+
+
 class RandomStreams:
     """A family of independent named random streams.
 
@@ -117,9 +144,33 @@ class RandomStreams:
         self.seed = seed
         self.strict = strict
         self._streams: Dict[str, random.Random] = {}
+        # Runtime sanitizer; None on the clean path (zero-cost hooks).
+        self._san = None
 
-    def get(self, name: str) -> random.Random:
-        """Return the stream for ``name``, creating it on first use."""
+    def attach_sanitizer(self, sanitizer) -> None:
+        """Route stream lookups/draws through a runtime sanitizer.
+
+        Must be called before any stream is created: streams handed out
+        afterwards are per-draw instrumentation proxies, and call sites
+        cache stream handles, so late attachment would leave earlier
+        streams invisible to the sanitizer.
+        """
+        if self._streams:
+            raise ValueError(
+                "attach_sanitizer must precede the first stream draw"
+            )
+        self._san = sanitizer
+
+    def get(self, name: str, owner: str = None) -> random.Random:
+        """Return the stream for ``name``, creating it on first use.
+
+        ``owner`` declares the drawing component; under the sanitizer
+        it is checked against the registration's declared ownership
+        (the stream-discipline checker).  Clean runs ignore it.
+        """
+        san = self._san
+        if san is not None:
+            san.check_stream(name, owner)
         stream = self._streams.get(name)
         if stream is None:
             if self.strict and not is_registered(name):
@@ -128,65 +179,75 @@ class RandomStreams:
                     "with repro.sim.streams.register_stream"
                 )
             stream = random.Random(derive_seed(self.seed, name))
+            if san is not None:
+                stream = san.wrap_stream(name, stream)
             self._streams[name] = stream
         return stream
 
-    def exponential(self, name: str, mean: float) -> float:
+    def exponential(self, name: str, mean: float, owner: str = None) -> float:
         """Draw from Exp(mean); returns 0.0 when ``mean`` is 0."""
         if mean <= 0.0:
             return 0.0
-        return self.get(name).expovariate(1.0 / mean)
+        return self.get(name, owner).expovariate(1.0 / mean)
 
-    def uniform(self, name: str, low: float, high: float) -> float:
+    def uniform(
+        self, name: str, low: float, high: float, owner: str = None
+    ) -> float:
         """Draw uniformly from [low, high]."""
-        return self.get(name).uniform(low, high)
+        return self.get(name, owner).uniform(low, high)
 
-    def uniform_int(self, name: str, low: int, high: int) -> int:
+    def uniform_int(
+        self, name: str, low: int, high: int, owner: str = None
+    ) -> int:
         """Draw an integer uniformly from [low, high] inclusive."""
-        return self.get(name).randint(low, high)
+        return self.get(name, owner).randint(low, high)
 
-    def bernoulli(self, name: str, probability: float) -> bool:
+    def bernoulli(
+        self, name: str, probability: float, owner: str = None
+    ) -> bool:
         """Flip a coin that lands True with ``probability``."""
         if probability <= 0.0:
             return False
         if probability >= 1.0:
             return True
-        return self.get(name).random() < probability
+        return self.get(name, owner).random() < probability
 
     def sample_without_replacement(
-        self, name: str, population: int, k: int
+        self, name: str, population: int, k: int, owner: str = None
     ) -> list[int]:
         """Sample ``k`` distinct integers from ``range(population)``."""
         if k > population:
             raise ValueError(
                 f"cannot sample {k} distinct items from {population}"
             )
-        return self.get(name).sample(range(population), k)
+        return self.get(name, owner).sample(range(population), k)
 
 
 # ----------------------------------------------------------------------
 # Canonical stream registrations
 # ----------------------------------------------------------------------
 # Workload generation (core/workload.py).
-register_stream("page-count", "pages touched per transaction")
-register_stream("page-choice", "which pages a transaction touches")
-register_stream("write-coin", "read vs. update coin per access")
-register_stream("inst-per-page", "CPU instructions per page access")
-register_stream("copy-choice", "which replica serves a read")
-register_stream("file-choice", "which partitions FileCount selects")
-register_stream("think-{terminal}", "per-terminal think times")
+register_stream("page-count", "pages touched per transaction", owner="workload")
+register_stream("page-choice", "which pages a transaction touches", owner="workload")
+register_stream("write-coin", "read vs. update coin per access", owner="workload")
+register_stream("inst-per-page", "CPU instructions per page access", owner="workload")
+register_stream("copy-choice", "which replica serves a read", owner="workload")
+register_stream("file-choice", "which partitions FileCount selects", owner="workload")
+register_stream("think-{terminal}", "per-terminal think times", owner="workload")
 # Resource model (core/simulation.py).
-register_stream("disk-service-{node}", "per-node disk service times")
-register_stream("disk-choice-{node}", "per-node disk selection")
+register_stream("disk-service-{node}", "per-node disk service times", owner="resources")
+register_stream("disk-choice-{node}", "per-node disk selection", owner="resources")
 # Transaction restarts (core/transaction_manager.py).
-register_stream("restart-delay", "post-abort restart delay")
+register_stream("restart-delay", "post-abort restart delay", owner="transaction-manager")
 register_stream(
-    "fault-retry-backoff", "2PC retry backoff under faults"
+    "fault-retry-backoff",
+    "2PC retry backoff under faults",
+    owner="transaction-manager",
 )
 # Fault injection (faults/schedule.py) — isolated fault-* streams so
 # disabling faults leaves every other sequence bit-identical.
-register_stream("fault-crash-{node}", "per-node crash inter-arrivals")
-register_stream("fault-repair-{node}", "per-node repair durations")
-register_stream("fault-msg-loss", "per-message loss coin")
-register_stream("fault-msg-delay", "per-message delay coin")
-register_stream("fault-msg-delay-time", "extra delay when delayed")
+register_stream("fault-crash-{node}", "per-node crash inter-arrivals", owner="faults")
+register_stream("fault-repair-{node}", "per-node repair durations", owner="faults")
+register_stream("fault-msg-loss", "per-message loss coin", owner="faults")
+register_stream("fault-msg-delay", "per-message delay coin", owner="faults")
+register_stream("fault-msg-delay-time", "extra delay when delayed", owner="faults")

@@ -30,13 +30,14 @@ def rule_hits(source, path, rule_id):
     ]
 
 
-def test_all_eight_rules_registered():
+def test_all_nine_rules_registered():
     assert [rule.rule_id for rule in all_rules()] == [
         "fault-stream-misuse",
         "float-time-equality",
         "id-keyed-container",
         "process-protocol",
         "resident-terminal-process",
+        "unordered-dict-iteration",
         "unordered-set-iteration",
         "unseeded-global-random",
         "wall-clock",
@@ -236,6 +237,76 @@ class TestUnorderedSetIteration:
             "for page in set(pages):"
             "  # simlint: ignore[unordered-set-iteration]\n"
             "    release(page)\n"
+        )
+        violations = lint_source(snippet, CC_PATH)
+        assert [v for v in violations if v.suppressed]
+        assert not [v for v in violations if not v.suppressed]
+
+
+class TestUnorderedDictIteration:
+    RULE = "unordered-dict-iteration"
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "for txn, mode in holders.items():\n    wound(txn)\n",
+            "for txn in waiting.keys():\n    wake(txn)\n",
+            "for entry in table.values():\n    grant(entry)\n",
+            "order = [wake(t) for t in holders.items()]\n",
+            "for txn in held.keys() - released:\n    drop(txn)\n",
+            "for page in {1: 'a'}:\n    release(page)\n",
+            """
+            def release_all(txn):
+                held = {}
+                held[txn] = 1
+                for page in held:
+                    release(page)
+            """,
+            """
+            def victims(cycle):
+                doomed = {t: 1 for t in cycle}
+                return [abort(t) for t in doomed]
+            """,
+        ],
+    )
+    def test_flags_in_cc_scope(self, snippet):
+        assert rule_hits(snippet, CC_PATH, self.RULE)
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "for txn in sorted(holders.items()):\n    wound(txn)\n",
+            "for txn in waiter_list:\n    wake(txn)\n",
+            "if txn in holders:\n    wound(txn)\n",  # membership only
+            # Order-insensitive reducers cannot leak iteration order.
+            "busy = all(m == 1 for m in holders.values())\n",
+            "count = sum(1 for t in holders.keys())\n",
+            "worst = max(t.tid for t in holders.values())\n",
+            """
+            def snapshot(table):
+                pages = list(queue)
+                for page in pages:
+                    release(page)
+            """,
+        ],
+    )
+    def test_does_not_flag(self, snippet):
+        assert not rule_hits(snippet, CC_PATH, self.RULE)
+
+    def test_out_of_scope_path_not_flagged(self):
+        snippet = "for k, v in table.items():\n    use(k)\n"
+        assert not rule_hits(snippet, NEUTRAL_PATH, self.RULE)
+
+    def test_reports_as_warning(self):
+        snippet = "for k, v in table.items():\n    use(k)\n"
+        hits = rule_hits(snippet, CC_PATH, self.RULE)
+        assert hits and all(v.severity == "warning" for v in hits)
+
+    def test_suppression(self):
+        snippet = (
+            "for t, m in holders.items():"
+            "  # simlint: ignore[unordered-dict-iteration]\n"
+            "    wound(t)\n"
         )
         violations = lint_source(snippet, CC_PATH)
         assert [v for v in violations if v.suppressed]

@@ -29,14 +29,17 @@ def test_known_suppressions_are_inventoried():
     waivers = sorted(
         (Path(v.path).name, v.rule_id) for v in report.suppressed
     )
-    assert waivers == [
-        ("kernel.py", "float-time-equality"),
-        ("kernel.py", "float-time-equality"),
-        ("kernel.py", "float-time-equality"),
-        ("kernel.py", "float-time-equality"),
-        ("kernel.py", "float-time-equality"),
-        ("transaction_manager.py", "resident-terminal-process"),
-    ]
+    assert waivers == (
+        # Serialization-audit loops accumulate into sets (order-free).
+        [("audit.py", "unordered-dict-iteration")] * 2
+        # The kernel's three run loops (clean, sanitized, perturbed)
+        # each compare scheduler timestamps exactly on purpose.
+        + [("kernel.py", "float-time-equality")] * 9
+        # Lock-table iteration in grant order is documented semantics
+        # (conflict sets and wait-for edges follow grant history).
+        + [("locks.py", "unordered-dict-iteration")] * 3
+        + [("transaction_manager.py", "resident-terminal-process")]
+    )
 
 
 def test_injected_fixture_breaks_the_gate(tmp_path):

@@ -1,0 +1,21 @@
+"""Shared fixtures: keep the process-global sanitizer session clean.
+
+Every test in this package runs with ``$REPRO_SIMSAN`` unset and the
+session deactivated on exit, so a failing test can never leak sanitized
+execution (and its cache bypass) into unrelated tests.
+"""
+
+import pytest
+
+from repro.sanitizer import session
+
+
+@pytest.fixture(autouse=True)
+def clean_sanitizer_session(monkeypatch):
+    monkeypatch.delenv("REPRO_SIMSAN", raising=False)
+    monkeypatch.delenv("REPRO_SIMSAN_CONFIRM", raising=False)
+    session.deactivate()
+    session.reset_findings()
+    yield
+    session.deactivate()
+    session.reset_findings()

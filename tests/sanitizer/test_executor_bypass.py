@@ -1,0 +1,92 @@
+"""Satellite contract: sanitized runs and the result cache never mix.
+
+Both directions are load-bearing.  A sanitized sweep that *read* the
+cache would silently skip instrumentation (a cache hit runs nothing);
+a sanitized sweep that *wrote* it would plant entries a later clean
+run trusts (cache keys hash config + sources, not execution mode).
+"""
+
+from repro.core.config import paper_default_config
+from repro.experiments.executor import SweepExecutor
+from repro.experiments.result_cache import ResultCache
+from repro.sanitizer import session
+from repro.sanitizer.core import diff_results
+
+
+def tiny_config(seed=7):
+    return paper_default_config(
+        "no_dc", think_time=30.0, seed=seed
+    ).with_(duration=3.0, warmup=1.0).with_workload(num_terminals=4)
+
+
+class TestSanitizedRunsSkipTheCache:
+    def test_sanitized_sweep_writes_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        session.activate(confirm=False)
+        try:
+            executor = SweepExecutor(jobs=1, cache=cache)
+            executor.run_many([tiny_config()])
+            assert executor.stats.simulated == 1
+        finally:
+            session.deactivate()
+        # A later clean run finds no entry to trust.
+        assert cache.get(tiny_config()) is None
+        clean = SweepExecutor(jobs=1, cache=cache)
+        clean.run_many([tiny_config()])
+        assert clean.stats.simulated == 1
+        assert clean.stats.disk_hits == 0
+
+    def test_sanitized_sweep_reads_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        clean = SweepExecutor(jobs=1, cache=cache)
+        [clean_result] = clean.run_many([tiny_config()])
+        assert cache.get(tiny_config()) is not None
+        session.activate(confirm=False)
+        try:
+            executor = SweepExecutor(jobs=1, cache=cache)
+            [sanitized_result] = executor.run_many([tiny_config()])
+        finally:
+            session.deactivate()
+        # Actually simulated, no cache or memo hit consulted...
+        assert executor.stats.simulated == 1
+        assert executor.stats.disk_hits == 0
+        assert executor.stats.memo_hits == 0
+        # ...and still bit-identical to the clean result.
+        assert diff_results(clean_result, sanitized_result) == ""
+
+    def test_run_one_bypasses_warm_memo(self, tmp_path):
+        executor = SweepExecutor(jobs=1, cache=ResultCache(tmp_path / "c"))
+        executor.run_one(tiny_config())
+        session.activate(confirm=False)
+        try:
+            executor.run_one(tiny_config())
+        finally:
+            session.deactivate()
+        assert executor.stats.simulated == 2
+        assert executor.stats.memo_hits == 0
+
+    def test_env_var_alone_triggers_the_bypass(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+        clean = SweepExecutor(jobs=1, cache=cache)
+        clean.run_many([tiny_config()])
+        monkeypatch.setenv("REPRO_SIMSAN", "1")
+        monkeypatch.setenv("REPRO_SIMSAN_CONFIRM", "0")
+        executor = SweepExecutor(jobs=1, cache=cache)
+        executor.run_many([tiny_config()])
+        assert executor.stats.simulated == 1
+        assert executor.stats.disk_hits == 0
+
+    def test_duplicate_configs_sanitized_once_per_batch(self):
+        """Within one request exact duplicates collapse — sanitizing
+        the same config twice would double-count findings — but the
+        memo dies with the batch."""
+        session.activate(confirm=False)
+        try:
+            executor = SweepExecutor(jobs=1)
+            results = executor.run_many([tiny_config(), tiny_config()])
+            assert executor.stats.simulated == 1
+            assert diff_results(results[0], results[1]) == ""
+            executor.run_many([tiny_config()])
+            assert executor.stats.simulated == 2
+        finally:
+            session.deactivate()
