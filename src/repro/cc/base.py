@@ -203,5 +203,25 @@ class CCAlgorithm(ABC):
     def start_global(self, simulation) -> None:
         """Start algorithm-global processes (e.g. 2PL's Snoop)."""
 
+    def bind(self, config, streams) -> None:
+        """Late-bind the simulation's config and random streams.
+
+        Called once by ``Simulation.__init__`` right after the
+        algorithm is constructed, before any node manager exists.
+        Composite algorithms (the transaction router) use this to
+        build their children and seed their decision streams; the
+        paper's algorithms inherit this no-op.
+        """
+
+    def on_commit(
+        self, transaction: Transaction, response_time: float, now: float
+    ) -> None:
+        """Observe a commit (router reward feedback; default no-op)."""
+
+    def on_abort(
+        self, transaction: Transaction, reason: str, now: float
+    ) -> None:
+        """Observe an abort (router reward feedback; default no-op)."""
+
     def __repr__(self) -> str:
         return f"<CCAlgorithm {self.name}>"

@@ -1,0 +1,226 @@
+"""Multi-version concurrency control with snapshot isolation (extension).
+
+The paper's four algorithms all make readers and writers fight over a
+single current version of each page.  MVCC removes that fight: every
+commit installs a new *version* of the pages it wrote (the node keeps a
+short chain of committed version timestamps per page —
+:class:`~repro.core.database.PageVersionStore`), and every transaction
+reads from the *snapshot* defined by its start timestamp — the newest
+committed version no later than the snapshot.  Reads therefore never
+block, never wait for locks, and never cause an abort: a read-only
+transaction under MVCC commits on its first attempt, always.
+
+Update transactions keep snapshot reads but must serialize their writes.
+This module implements classic *snapshot isolation* with
+first-committer-wins write-write validation:
+
+* ``write_request`` performs an early first-updater check: if some
+  transaction already **committed** a newer version of the page than
+  this transaction's snapshot, the request is rejected immediately
+  (the attempt would be doomed at certification anyway, so aborting
+  before buying more execution is strictly cheaper).  Otherwise the
+  update is buffered in the cohort's private workspace and granted —
+  no lock is taken, so MVCC writers never block either.
+* ``prepare`` (phase one of 2PC) re-validates every buffered write in
+  a critical section: the vote is *no* if a newer-than-snapshot version
+  committed since the early check, or if another still-pending prepared
+  transaction holds a write intent on the page.  A *yes* vote registers
+  the cohort's write intents so concurrent certifiers see them until
+  the decision arrives — exactly the pending-window discipline the OPT
+  manager uses.
+* ``commit`` (phase two) removes the intents and installs one new
+  version per written page at the transaction's commit timestamp.
+  Commits may complete out of order across nodes; the version store
+  keeps chains sorted by insertion.
+
+Snapshots follow the BTO restart policy: each attempt draws a *fresh*
+snapshot timestamp (an aborted attempt's snapshot is stale by
+construction), while the initial startup timestamp is preserved for
+victim-selection style uses.
+
+Crash semantics are fail-stop like the other managers: ``crash_reset``
+wipes the version chains and every pending intent.  Committed data
+survives in the database proper (REDO from the log); the in-memory
+version bookkeeping restarts from zero, after which every page behaves
+as if it had one committed version at the zero timestamp.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.cc.base import (
+    CCAlgorithm,
+    CCContext,
+    CCResponse,
+    NodeCCManager,
+)
+from repro.core.database import PageId, PageVersionStore
+from repro.core.transaction import Cohort, Timestamp, Transaction, \
+    make_timestamp
+
+__all__ = ["MultiVersionCC", "MvccNodeManager"]
+
+_ZERO_TS: Timestamp = (-1.0, -1)
+
+
+class _CohortState:
+    __slots__ = ("writes", "intents_registered")
+
+    def __init__(self):
+        #: Pages buffered in the private workspace, in request order.
+        self.writes: List[PageId] = []
+        #: Whether prepare() registered this cohort's write intents.
+        self.intents_registered = False
+
+
+class MvccNodeManager(NodeCCManager):
+    """Snapshot-isolation node manager over a page version store."""
+
+    def __init__(self, node_id: int, context: CCContext):
+        super().__init__(node_id, context)
+        #: Committed version chains for pages at this node.
+        self.store = PageVersionStore()
+        #: Prepared-but-undecided write intents: page -> {txn: commit ts}.
+        self._intents: Dict[PageId, Dict[Transaction, Timestamp]] = {}
+
+    def register_cohort(self, cohort: Cohort) -> None:
+        """Attach a fresh private workspace."""
+        cohort.cc_state = _CohortState()
+
+    def _state(self, cohort: Cohort) -> _CohortState:
+        if not isinstance(cohort.cc_state, _CohortState):
+            cohort.cc_state = _CohortState()
+        return cohort.cc_state
+
+    def _snapshot(self, cohort: Cohort) -> Timestamp:
+        snapshot = cohort.transaction.timestamp
+        assert snapshot is not None, "MVCC cohort without a snapshot"
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Access requests
+    # ------------------------------------------------------------------
+
+    def read_request(self, cohort: Cohort, page: PageId) -> CCResponse:
+        """Snapshot read: always granted, no lock, no version check.
+
+        The version served is the newest committed one no later than
+        the snapshot; since chains retain several versions and
+        snapshots live for one attempt, the wanted version always
+        exists.  Nothing about the read can invalidate anyone.
+        """
+        return CCResponse.granted()
+
+    def write_request(self, cohort: Cohort, page: PageId) -> CCResponse:
+        """Buffer the update; reject if the snapshot is already stale.
+
+        First-updater early check: a committed version newer than this
+        transaction's snapshot guarantees certification failure, so the
+        attempt aborts now instead of after more execution.  Otherwise
+        the write goes to the workspace and the request is granted —
+        MVCC writers never block.
+        """
+        if self.store.latest(page) > self._snapshot(cohort):
+            return CCResponse.rejected()
+        self._state(cohort).writes.append(page)
+        return CCResponse.granted()
+
+    # ------------------------------------------------------------------
+    # Certification (first-committer-wins)
+    # ------------------------------------------------------------------
+
+    def prepare(self, cohort: Cohort) -> bool:
+        """Validate write-write conflicts against snapshot and intents."""
+        txn = cohort.transaction
+        snapshot = self._snapshot(cohort)
+        state = self._state(cohort)
+        for page in state.writes:
+            if self.store.latest(page) > snapshot:
+                return False
+            intents = self._intents.get(page)
+            if intents and any(
+                owner is not txn for owner in intents
+            ):
+                return False
+        ts = txn.commit_timestamp
+        assert ts is not None, "certification needs a commit timestamp"
+        for page in state.writes:
+            self._intents.setdefault(page, {})[txn] = ts
+        state.intents_registered = True
+        return True
+
+    def commit(self, cohort: Cohort) -> List[PageId]:
+        """Install one new committed version per written page."""
+        txn = cohort.transaction
+        ts = txn.commit_timestamp
+        state = self._state(cohort)
+        for page in state.writes:
+            intents = self._intents.get(page)
+            if intents is not None:
+                intents.pop(txn, None)
+                if not intents:
+                    del self._intents[page]
+            if ts is not None:
+                self.store.install(page, ts)
+        state.intents_registered = False
+        return cohort.updated_pages
+
+    def abort(self, cohort: Cohort) -> None:
+        """Discard the workspace and any registered intents."""
+        txn = cohort.transaction
+        state = self._state(cohort)
+        for page in state.writes:
+            intents = self._intents.get(page)
+            if intents is not None:
+                intents.pop(txn, None)
+                if not intents:
+                    del self._intents[page]
+        state.writes = []
+        state.intents_registered = False
+
+    def crash_reset(self) -> None:
+        """Wipe version chains and pending intents (fail-stop crash)."""
+        self.store.clear()
+        self._intents = {}
+
+    # ------------------------------------------------------------------
+    # Introspection (test support)
+    # ------------------------------------------------------------------
+
+    def version_chain(self, page: PageId) -> Tuple[Timestamp, ...]:
+        """Committed version timestamps of ``page``, ascending."""
+        return self.store.versions(page)
+
+    def pending_intents(self, page: PageId) -> int:
+        """Number of prepared-undecided write intents on ``page``."""
+        return len(self._intents.get(page, ()))
+
+
+class MultiVersionCC(CCAlgorithm):
+    """Snapshot isolation with first-committer-wins certification."""
+
+    name = "mvcc"
+
+    def make_node_manager(
+        self, node_id: int, context: CCContext
+    ) -> MvccNodeManager:
+        """Create the version-store manager for one node."""
+        return MvccNodeManager(node_id, context)
+
+    def assign_timestamps(
+        self, transaction: Transaction, now: float
+    ) -> None:
+        """Fresh snapshot per attempt (BTO restart policy).
+
+        The snapshot timestamp *is* ``transaction.timestamp``: reads
+        resolve against it and write validation compares committed
+        versions to it, so a restarted attempt must re-snapshot at its
+        new BEGIN or it would re-abort against the very commit that
+        killed it.
+        """
+        if transaction.startup_timestamp is None:
+            transaction.startup_timestamp = make_timestamp(now)
+            transaction.timestamp = transaction.startup_timestamp
+        else:
+            transaction.timestamp = make_timestamp(now)

@@ -6,16 +6,19 @@ from typing import Callable, Dict
 
 from repro.cc.base import CCAlgorithm
 from repro.cc.immediate_restart import ImmediateRestart
+from repro.cc.mvcc import MultiVersionCC
 from repro.cc.no_dc import NoDataContention
 from repro.cc.optimistic import DistributedCertification
 from repro.cc.timestamp_ordering import BasicTimestampOrdering
 from repro.cc.two_phase_locking import TwoPhaseLocking
 from repro.cc.wait_die import WaitDie
 from repro.cc.wound_wait import WoundWait
+from repro.router.dispatch import RoutedCC
 
 __all__ = [
     "ALGORITHM_NAMES",
     "EXTENSION_NAMES",
+    "MODERN_NAMES",
     "make_algorithm",
     "register_algorithm",
 ]
@@ -29,6 +32,10 @@ _FACTORIES: Dict[str, Callable[[], CCAlgorithm]] = {
     # Extensions beyond the paper's four (see their module docstrings).
     "wd": WaitDie,
     "ir": ImmediateRestart,
+    # Modern fleet (ROADMAP item 2): snapshot-isolation MVCC and the
+    # predictive transaction router dispatching over the whole fleet.
+    "mvcc": MultiVersionCC,
+    "router": RoutedCC,
 }
 
 #: The paper's algorithm set, in its customary presentation order.
@@ -36,6 +43,9 @@ ALGORITHM_NAMES = ("2pl", "ww", "bto", "opt", "no_dc")
 
 #: Extension algorithms shipped with the library but not in the paper.
 EXTENSION_NAMES = ("wd", "ir")
+
+#: Post-paper additions: the MVCC snapshot algorithm and the router.
+MODERN_NAMES = ("mvcc", "router")
 
 
 def make_algorithm(name: str) -> CCAlgorithm:

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 from repro.faults.schedule import FaultConfig
 
@@ -30,6 +30,7 @@ __all__ = [
     "ExecutionPattern",
     "PlacementKind",
     "ResourceConfig",
+    "RouterConfig",
     "SimulationConfig",
     "TransactionClassConfig",
     "WorkloadConfig",
@@ -173,6 +174,13 @@ class TransactionClassConfig:
     pages_per_file: int = 8
     write_probability: float = 0.125
     inst_per_page: float = 8_000.0
+    #: Zipf skew parameter (theta) for page selection within a
+    #: partition (extension; ROADMAP item 3).  0.0 keeps the paper's
+    #: uniform draw — bit-identical to the original path, consuming no
+    #: extra stream draws.  Positive values draw page indices from a
+    #: Zipf(theta) distribution over the partition's pages via the
+    #: dedicated ``page-skew`` stream, making low page indices hot.
+    access_skew: float = 0.0
 
     def validate(self) -> None:
         """Raise ValueError on out-of-range settings."""
@@ -184,6 +192,8 @@ class TransactionClassConfig:
             raise ValueError("write_probability must be in [0, 1]")
         if self.inst_per_page < 0:
             raise ValueError("inst_per_page must be non-negative")
+        if self.access_skew < 0.0:
+            raise ValueError("access_skew must be non-negative")
 
     @property
     def min_pages_per_file(self) -> int:
@@ -199,6 +209,68 @@ class TransactionClassConfig:
         which the expected-speedup arithmetic 64/12 = 5.33 relies on.
         """
         return (3 * self.pages_per_file) // 2
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Predictive transaction router settings (extension; see
+    :mod:`repro.router`).
+
+    Used when ``cc_algorithm`` is ``"router"``: the host classifies
+    each incoming transaction by its declared access specification and
+    dispatches it to one of several concurrently running concurrency
+    control algorithms.  Declared read-only transactions always run
+    under ``read_only_algorithm`` (MVCC snapshot reads by default);
+    update classes are assigned by a deterministic epsilon-greedy
+    reward tracker choosing among ``update_candidates``.
+    """
+
+    #: Algorithm for declared read-only transactions.
+    read_only_algorithm: str = "mvcc"
+    #: Candidate algorithms the classifier arbitrates for update
+    #: classes (per-class reward tracking of commit latency and abort
+    #: ratio picks among them).  MVCC is itself a candidate: under
+    #: light contention snapshot writers are the cheapest arm, and the
+    #: bandit only steers hot classes away from first-committer-wins
+    #: aborts when contention makes them expensive.
+    update_candidates: Tuple[str, ...] = ("2pl", "bto", "opt", "mvcc")
+    #: Exploration rate of the epsilon-greedy classifier; draws come
+    #: from the dedicated ``router-explore``/``router-choice`` streams.
+    epsilon: float = 0.05
+    #: Minimum completed transactions per (class, candidate) arm before
+    #: the classifier trusts its reward estimate over round-robin.
+    min_samples: int = 2
+    #: Weight of the abort ratio in the per-arm cost
+    #: ``mean_latency * (1 + abort_penalty * abort_ratio)``.
+    abort_penalty: float = 1.0
+    #: Fraction of each partition's lowest page indices considered the
+    #: "hot set" by the feature extractor (matches the Zipf option's
+    #: low-index-hot convention).
+    hot_page_fraction: float = 0.125
+    #: A transaction is "hot" when at least this fraction of its
+    #: accesses fall in the hot set.
+    hot_access_threshold: float = 0.5
+    #: Read-set size (pages) above which a transaction is "large".
+    large_read_set: int = 16
+
+    def validate(self) -> None:
+        """Raise ValueError on out-of-range settings."""
+        if not self.read_only_algorithm:
+            raise ValueError("read_only_algorithm must be named")
+        if not self.update_candidates:
+            raise ValueError("need at least one update candidate")
+        if not 0.0 <= self.epsilon <= 1.0:
+            raise ValueError("epsilon must be in [0, 1]")
+        if self.min_samples < 0:
+            raise ValueError("min_samples must be non-negative")
+        if self.abort_penalty < 0.0:
+            raise ValueError("abort_penalty must be non-negative")
+        if not 0.0 < self.hot_page_fraction <= 1.0:
+            raise ValueError("hot_page_fraction must be in (0, 1]")
+        if not 0.0 <= self.hot_access_threshold <= 1.0:
+            raise ValueError("hot_access_threshold must be in [0, 1]")
+        if self.large_read_set < 1:
+            raise ValueError("large_read_set must be positive")
 
 
 @dataclass(frozen=True)
@@ -260,6 +332,11 @@ class SimulationConfig:
     #: keeps the simulator failure-free and bit-identical to the
     #: verified paper configurations.
     faults: Optional[FaultConfig] = None
+    #: Predictive router settings (extension; see ``repro.router``).
+    #: Only consulted when ``cc_algorithm`` is ``"router"``; ``None``
+    #: means the router's defaults.  Like ``faults``, an absent value
+    #: hashes identically to a config predating the subsystem.
+    router: Optional[RouterConfig] = None
 
     def validate(self) -> None:
         """Validate the whole configuration tree."""
@@ -280,6 +357,8 @@ class SimulationConfig:
         self.workload.validate()
         if self.faults is not None:
             self.faults.validate()
+        if self.router is not None:
+            self.router.validate()
 
     def with_(self, **changes) -> "SimulationConfig":
         """Return a copy with top-level fields replaced."""

@@ -21,12 +21,13 @@ controlled comparison the paper performs.
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.core.config import DatabaseConfig, PlacementKind
 
-__all__ = ["Database", "PageId", "PartitionId"]
+__all__ = ["Database", "PageId", "PageVersionStore", "PartitionId"]
 
 
 @dataclass(frozen=True, order=True)
@@ -49,6 +50,57 @@ class PageId:
     def partition_id(self) -> PartitionId:
         """The partition this page belongs to."""
         return PartitionId(self.relation, self.partition)
+
+
+class PageVersionStore:
+    """Per-page chains of committed version timestamps (MVCC extension).
+
+    The paper's database is versionless — a page simply *is* its latest
+    committed state.  Multi-version concurrency control needs one more
+    piece of bookkeeping at each node: for every page, the commit
+    timestamps of its installed versions, in ascending order, so a
+    snapshot read at timestamp *s* resolves to the newest version
+    ≤ *s* and a write-write validation can ask whether anything
+    committed after *s*.  Only timestamps are stored — page *contents*
+    are not modeled, matching the rest of the database layer.
+
+    Chains are bounded at ``max_versions`` entries; installing beyond
+    that drops the oldest.  Snapshots in this simulator live for at
+    most one transaction attempt, far shorter than the horizon eight
+    versions cover, so pruning never invalidates a live reader.
+    """
+
+    def __init__(self, max_versions: int = 8):
+        self.max_versions = max_versions
+        self._chains: Dict[PageId, List[Tuple[float, int]]] = {}
+
+    def install(self, page: PageId, stamp: Tuple[float, int]) -> None:
+        """Append a committed version (commits may arrive out of order)."""
+        chain = self._chains.get(page)
+        if chain is None:
+            self._chains[page] = [stamp]
+            return
+        insort(chain, stamp)
+        if len(chain) > self.max_versions:
+            del chain[0]
+
+    def latest(self, page: PageId) -> Tuple[float, int]:
+        """Newest committed version timestamp (zero stamp if none)."""
+        chain = self._chains.get(page)
+        if not chain:
+            return (-1.0, -1)
+        return chain[-1]
+
+    def versions(self, page: PageId) -> Tuple[Tuple[float, int], ...]:
+        """All retained version timestamps, ascending."""
+        return tuple(self._chains.get(page, ()))
+
+    def clear(self) -> None:
+        """Wipe every chain (fail-stop crash of the hosting node)."""
+        self._chains = {}
+
+    def __len__(self) -> int:
+        return len(self._chains)
 
 
 class Database:

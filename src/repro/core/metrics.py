@@ -54,6 +54,14 @@ class MetricsCollector:
         self.blocked_2pc_times = Tally()
         #: Commits recorded while at least one node was down.
         self.degraded_commits = Counter()
+        #: Per routing-class statistics (router runs only; empty and
+        #: cost-free otherwise).  Keyed by the router's class key.
+        self.class_commits: Dict[str, int] = {}
+        self.class_aborts: Dict[str, int] = {}
+        self.class_response: Dict[str, Tally] = {}
+        self.class_lock_waits: Dict[str, int] = {}
+        #: class key -> {algorithm name -> commits routed there}.
+        self.class_algorithms: Dict[str, Dict[str, int]] = {}
         self._measure_start = 0.0
 
     def record_commit(self, response_time: float) -> None:
@@ -81,6 +89,32 @@ class MetricsCollector:
         """One commit completed while the machine was degraded."""
         self.degraded_commits.increment()
 
+    def record_class_commit(
+        self, class_key: str, algorithm: str, response_time: float
+    ) -> None:
+        """One routed transaction of ``class_key`` committed."""
+        self.class_commits[class_key] = (
+            self.class_commits.get(class_key, 0) + 1
+        )
+        tally = self.class_response.get(class_key)
+        if tally is None:
+            tally = self.class_response[class_key] = Tally()
+        tally.record(response_time)
+        arms = self.class_algorithms.setdefault(class_key, {})
+        arms[algorithm] = arms.get(algorithm, 0) + 1
+
+    def record_class_abort(self, class_key: str) -> None:
+        """One routed attempt of ``class_key`` aborted."""
+        self.class_aborts[class_key] = (
+            self.class_aborts.get(class_key, 0) + 1
+        )
+
+    def record_class_blocking(self, class_key: str) -> None:
+        """One routed cohort of ``class_key`` finished a lock wait."""
+        self.class_lock_waits[class_key] = (
+            self.class_lock_waits.get(class_key, 0) + 1
+        )
+
     def reset(self, now: float) -> None:
         """Discard warmup observations."""
         self.response_times.reset()
@@ -92,6 +126,11 @@ class MetricsCollector:
         self.blocking_times.reset()
         self.blocked_2pc_times.reset()
         self.degraded_commits.reset()
+        self.class_commits.clear()
+        self.class_aborts.clear()
+        self.class_response.clear()
+        self.class_lock_waits.clear()
+        self.class_algorithms.clear()
         self._measure_start = now
 
     def throughput(self, now: float) -> float:
@@ -170,6 +209,24 @@ class SimulationResult:
     blocked_2pc_count: int = 0
     messages_dropped: int = 0
     per_node_downtime: List[float] = field(default_factory=list)
+    #: Per-class router metrics (extension; all empty outside router
+    #: runs so pre-router cache entries stay loadable).  Deliberately
+    #: not part of :meth:`as_dict` — the tabular report and the
+    #: cross-run determinism comparisons stay algorithm-agnostic; the
+    #: router experiment and tests read these fields directly.
+    router_enabled: bool = False
+    router_class_commits: Dict[str, int] = field(default_factory=dict)
+    router_class_aborts: Dict[str, int] = field(default_factory=dict)
+    router_class_mean_response: Dict[str, float] = field(
+        default_factory=dict
+    )
+    router_class_lock_waits: Dict[str, int] = field(
+        default_factory=dict
+    )
+    #: class key -> {algorithm -> commits the router sent there}.
+    router_class_algorithms: Dict[str, Dict[str, int]] = field(
+        default_factory=dict
+    )
 
     def as_dict(self) -> Dict[str, object]:
         """Flat dictionary for tabular reporting."""

@@ -96,6 +96,9 @@ class Simulation:
             self.env, cpus, config.resources.inst_per_msg
         )
         self.cc_algorithm = make_algorithm(config.cc_algorithm)
+        # Late-bind config and streams before any node manager exists:
+        # composite algorithms (the router) build their children here.
+        self.cc_algorithm.bind(config, self.streams)
         self.source = Source(
             config.workload, self.database, self.streams
         )
@@ -273,6 +276,32 @@ class Simulation:
                     measure_start, now
                 ),
             }
+        router_fields = {}
+        if self.cc_algorithm.name == "router":
+            router_fields = {
+                "router_enabled": True,
+                "router_class_commits": dict(
+                    sorted(metrics.class_commits.items())
+                ),
+                "router_class_aborts": dict(
+                    sorted(metrics.class_aborts.items())
+                ),
+                "router_class_mean_response": {
+                    key: tally.mean
+                    for key, tally in sorted(
+                        metrics.class_response.items()
+                    )
+                },
+                "router_class_lock_waits": dict(
+                    sorted(metrics.class_lock_waits.items())
+                ),
+                "router_class_algorithms": {
+                    key: dict(sorted(arms.items()))
+                    for key, arms in sorted(
+                        metrics.class_algorithms.items()
+                    )
+                },
+            }
         return SimulationResult(
             label=config.label(),
             cc_algorithm=self.cc_algorithm.name,
@@ -309,6 +338,7 @@ class Simulation:
             per_node_disk_utilization=disk_utils,
             abort_reasons=dict(metrics.abort_reasons),
             **fault_fields,
+            **router_fields,
         )
 
 

@@ -198,6 +198,8 @@ class Transaction:
         "abort_reason",
         "num_aborts",
         "fault_retries",
+        "routed_class",
+        "routed_algorithm",
     )
 
     _tid_sequence = count()
@@ -232,6 +234,11 @@ class Transaction:
         #: Consecutive failure-induced aborts, driving the terminal's
         #: exponential retry backoff (fault mode only).
         self.fault_retries = 0
+        #: Router classification, fixed at first BEGIN and kept across
+        #: restarts so every attempt runs under the same algorithm
+        #: (None when no router is active).
+        self.routed_class: Optional[str] = None
+        self.routed_algorithm: Optional[str] = None
 
     @property
     def parallel(self) -> bool:

@@ -210,6 +210,15 @@ class TransactionManager:
                 self.metrics.record_commit(response)
                 if self.faults is not None and self.faults.degraded:
                     self.metrics.record_degraded_commit()
+                if transaction.routed_class is not None:
+                    self.metrics.record_class_commit(
+                        transaction.routed_class,
+                        transaction.routed_algorithm,
+                        response,
+                    )
+                self.cc_algorithm.on_commit(
+                    transaction, response, self.env.now
+                )
                 self._observed_response.record(response)
                 if self.auditor is not None:
                     self.auditor.on_committed(transaction)
@@ -219,6 +228,13 @@ class TransactionManager:
                 return
             transaction.num_aborts += 1
             self.metrics.record_abort(transaction.abort_reason)
+            if transaction.routed_class is not None:
+                self.metrics.record_class_abort(
+                    transaction.routed_class
+                )
+            self.cc_algorithm.on_abort(
+                transaction, transaction.abort_reason, self.env.now
+            )
             if self.auditor is not None:
                 self.auditor.on_aborted(transaction)
             self._trace(
@@ -755,6 +771,10 @@ class TransactionManager:
             )
         outcome = yield response.event
         self.metrics.record_blocking(self.env.now - blocked_at)
+        if cohort.transaction.routed_class is not None:
+            self.metrics.record_class_blocking(
+                cohort.transaction.routed_class
+            )
         if self._tracing:
             self._trace(
                 EventKind.UNBLOCKED,

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import os
 from bisect import bisect_right
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.config import TransactionClassConfig, WorkloadConfig
 from repro.core.database import Database, PageId
@@ -106,6 +106,12 @@ class Source:
         self._inst_draw = streams.get(
             "inst-per-page", owner="workload"
         ).expovariate
+        # Zipf-skewed page choice (access_skew > 0): cumulative-weight
+        # tables per (theta, population) and the dedicated draw stream,
+        # both created on first skewed draw so uniform workloads touch
+        # neither — the default path stays bit-identical to the paper.
+        self._skew_tables: Dict[Tuple[float, int], List[float]] = {}
+        self._skew_draw = None
         # Per-terminal think-stream handles, created on first draw.  At
         # 10^5+ terminals, materialising every stream up front costs
         # O(terminals) startup work for terminals that may never think;
@@ -230,9 +236,14 @@ class Source:
         )
         pages_per_partition = self.database.pages_per_partition
         num_pages = min(num_pages, pages_per_partition)
-        page_indices = self._page_choice_stream.sample(
-            range(pages_per_partition), num_pages
-        )
+        if cls.access_skew > 0.0:
+            page_indices = self._draw_skewed_indices(
+                cls.access_skew, pages_per_partition, num_pages
+            )
+        else:
+            page_indices = self._page_choice_stream.sample(
+                range(pages_per_partition), num_pages
+            )
         write_probability = cls.write_probability
         coin = self._write_coin_stream.random
         accesses = []
@@ -248,6 +259,59 @@ class Source:
                 is_update = coin() < write_probability
             accesses.append(PageAccess(page=page, is_update=is_update))
         return accesses
+
+    def _zipf_cumulative(
+        self, theta: float, population: int
+    ) -> List[float]:
+        """Cumulative (unnormalized) Zipf(theta) weights over ranks.
+
+        Rank r (page index r, zero-based) has weight 1/(r+1)^theta, so
+        low page indices are the hot keys.  Tables are memoized per
+        (theta, population) — one O(population) pass per distinct
+        class/partition-size pairing.
+        """
+        table = self._skew_tables.get((theta, population))
+        if table is None:
+            table = []
+            total = 0.0
+            for rank in range(population):
+                total += 1.0 / float(rank + 1) ** theta
+                table.append(total)
+            self._skew_tables[(theta, population)] = table
+        return table
+
+    def _draw_skewed_indices(
+        self, theta: float, population: int, count: int
+    ) -> List[int]:
+        """``count`` distinct Zipf(theta)-distributed page indices.
+
+        Inverse-CDF draws from the dedicated ``page-skew`` stream with
+        rejection of duplicates, so the result mirrors the uniform
+        path's sample-without-replacement contract.  Every draw comes
+        from ``page-skew`` only: skewed classes never consume
+        ``page-choice`` draws, and uniform classes never consume
+        ``page-skew`` draws.
+        """
+        if count >= population:
+            return list(range(population))
+        if self._skew_draw is None:
+            self._skew_draw = self.streams.get(
+                "page-skew", owner="workload"
+            ).random
+        table = self._zipf_cumulative(theta, population)
+        total = table[-1]
+        draw = self._skew_draw
+        chosen: List[int] = []
+        seen = set()
+        while len(chosen) < count:
+            index = bisect_right(table, draw() * total)
+            if index >= population:
+                index = population - 1
+            if index in seen:
+                continue
+            seen.add(index)
+            chosen.append(index)
+        return chosen
 
     def _group_into_cohorts(
         self, placed: Sequence[tuple]

@@ -7,7 +7,7 @@ from typing import Callable, Dict, List
 
 from repro.analysis.series import FigureSeries
 from repro.experiments import ablations, faults, overheads, \
-    partitioning, replication, scaleout, scaling, sensitivity
+    partitioning, replication, router, scaleout, scaling, sensitivity
 from repro.experiments.fidelity import Fidelity
 
 __all__ = ["EXPERIMENTS", "Experiment", "get_experiment"]
@@ -157,6 +157,12 @@ _DEFINITIONS = [
         "Extension: machine scaleout to 1000 nodes / 10^5 terminals "
         "at fixed per-node load",
         scaleout.scaleout_experiment,
+    ),
+    Experiment(
+        "router",
+        "Extension: predictive transaction router vs every fixed "
+        "algorithm on a mixed blend",
+        router.router_experiment,
     ),
 ]
 

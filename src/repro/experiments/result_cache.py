@@ -62,13 +62,16 @@ __all__ = [
 #: 3: lock release order made explicitly deterministic (sorted PageId
 #:    grant passes) instead of set-iteration order.
 #: 4: digest composes the source fingerprint; entries record it.
-SCHEMA_VERSION = 4
+#: 5: router subsystem — SimulationResult gained router_* fields and
+#:    the fingerprint now covers ``router/`` (new key shape either
+#:    way, so old entries must not round-trip into new results).
+SCHEMA_VERSION = 5
 
 #: Packages (under ``src/repro/``) whose source content determines
 #: simulation output, and therefore participates in every cache key.
 #: Experiment/analysis/lint code only *consumes* results, so edits
 #: there never invalidate entries.
-SIM_SOURCE_PACKAGES = ("sim", "cc", "core")
+SIM_SOURCE_PACKAGES = ("sim", "cc", "core", "router")
 
 #: Memoized per process; every config_digest call reuses it.
 _FINGERPRINT: Optional[str] = None

@@ -790,8 +790,10 @@ class CCInterfaceRule(ProjectRule):
         "algorithm cannot silently no-op under fault injection"
     )
     severity = "error"
-    version = 1
-    include = ("repro/cc/",)
+    #: v2: the router package hosts CC classes too (RoutedNodeManager
+    #: and any future composite manager) — same surface requirements.
+    version = 2
+    include = ("repro/cc/", "repro/router/")
 
     #: Root -> methods that must be defined *below* the root even
     #: though the root ships a concrete default.

@@ -1,0 +1,35 @@
+"""Predictive transaction router (extension; ROADMAP item 2).
+
+A modern database machine does not run one concurrency control
+algorithm — it runs a *fleet* and picks per transaction.  Following
+Pavlo et al.'s predictive-modeling line, the host node classifies each
+incoming transaction by its declared access specification (read-only
+flag, read-set size, access-skew class, distribution degree) and
+dispatches it to the algorithm its class has historically done best
+under, with all algorithms running concurrently over the same machine.
+
+Three modules, three concerns:
+
+``repro.router.features``
+    Pure, deterministic feature extraction: transaction -> class key.
+``repro.router.classifier``
+    Per-class epsilon-greedy reward tracking over the candidate
+    algorithms (commit latency x abort ratio), seeded from dedicated
+    ``router-*`` streams so runs stay bit-identical.
+``repro.router.dispatch``
+    :class:`~repro.router.dispatch.RoutedCC` — a composite
+    :class:`~repro.cc.base.CCAlgorithm` registered as ``"router"``
+    that owns one child algorithm instance per candidate and delegates
+    every per-transaction call to the child the classifier chose.
+"""
+
+from repro.router.classifier import RoutingPolicy
+from repro.router.dispatch import RoutedCC, RoutedNodeManager
+from repro.router.features import FeatureExtractor
+
+__all__ = [
+    "FeatureExtractor",
+    "RoutedCC",
+    "RoutedNodeManager",
+    "RoutingPolicy",
+]

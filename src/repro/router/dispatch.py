@@ -1,0 +1,236 @@
+"""The dispatch layer: a composite CC algorithm registered as "router".
+
+:class:`RoutedCC` owns one *child* :class:`~repro.cc.base.CCAlgorithm`
+instance per algorithm the configuration names (the read-only choice
+plus every update candidate), and each node runs a
+:class:`RoutedNodeManager` holding that node's child managers side by
+side — different transaction classes genuinely run under different
+algorithms concurrently on the same machine, each child seeing only the
+traffic routed to it.
+
+Routing happens exactly once per transaction, at its first BEGIN
+(inside ``assign_timestamps``, the first per-transaction call the
+transaction manager makes): the feature extractor computes the class
+key, declared read-only transactions go to the configured snapshot
+algorithm, update classes go to whatever the
+:class:`~repro.router.classifier.RoutingPolicy` picks.  The decision is
+stored on the transaction (``routed_class``/``routed_algorithm``) and
+kept across restarts, so every attempt — and every late 2PC control
+message, guarded by the attempt filter — resolves to the same child.
+
+Isolation note: children share nothing.  Each child manager keeps its
+own lock table / timestamp table / version store, so a 2PL-routed
+transaction cannot conflict with an OPT-routed one through CC state.
+They still share everything *physical* — CPUs, disks, the network, and
+the terminals — which is the contention the router experiment measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cc.base import (
+    CCAlgorithm,
+    CCContext,
+    CCResponse,
+    NodeCCManager,
+)
+from repro.core.config import RouterConfig, SimulationConfig
+from repro.core.database import PageId
+from repro.core.transaction import Cohort, Timestamp, Transaction
+from repro.router.classifier import RoutingPolicy
+from repro.router.features import FeatureExtractor
+from repro.sim.streams import RandomStreams
+
+__all__ = ["RoutedCC", "RoutedNodeManager"]
+
+
+class RoutedNodeManager(NodeCCManager):
+    """Per-node fan-out to the children's node managers."""
+
+    def __init__(
+        self,
+        node_id: int,
+        context: CCContext,
+        children: Dict[str, NodeCCManager],
+    ):
+        super().__init__(node_id, context)
+        self.children = children
+
+    def _child(self, cohort: Cohort) -> NodeCCManager:
+        algorithm = cohort.transaction.routed_algorithm
+        assert algorithm is not None, "cohort reached a node unrouted"
+        return self.children[algorithm]
+
+    def register_cohort(self, cohort: Cohort) -> None:
+        """Register with the child the transaction was routed to."""
+        self._child(cohort).register_cohort(cohort)
+
+    def read_request(self, cohort: Cohort, page: PageId) -> CCResponse:
+        """Delegate to the routed child."""
+        return self._child(cohort).read_request(cohort, page)
+
+    def write_request(self, cohort: Cohort, page: PageId) -> CCResponse:
+        """Delegate to the routed child."""
+        return self._child(cohort).write_request(cohort, page)
+
+    def prepare(self, cohort: Cohort) -> bool:
+        """Delegate to the routed child."""
+        return self._child(cohort).prepare(cohort)
+
+    def commit(self, cohort: Cohort) -> List[PageId]:
+        """Delegate to the routed child."""
+        return self._child(cohort).commit(cohort)
+
+    def abort(self, cohort: Cohort) -> None:
+        """Delegate to the routed child (idempotent like them)."""
+        self._child(cohort).abort(cohort)
+
+    def crash_reset(self) -> None:
+        """Fail-stop: every child's volatile state dies with the node."""
+        for child in self.children.values():
+            child.crash_reset()
+
+    def waits_for_edges(
+        self,
+    ) -> List[Tuple[Transaction, Transaction]]:
+        """Union of the children's edges (for 2PL's global Snoop)."""
+        edges: List[Tuple[Transaction, Transaction]] = []
+        for child in self.children.values():
+            edges.extend(child.waits_for_edges())
+        return edges
+
+
+class RoutedCC(CCAlgorithm):
+    """Composite algorithm dispatching per-transaction to children."""
+
+    name = "router"
+
+    def __init__(self):
+        self._children: Dict[str, CCAlgorithm] = {}
+        self._config: Optional[RouterConfig] = None
+        self._features: Optional[FeatureExtractor] = None
+        self._policy: Optional[RoutingPolicy] = None
+
+    def bind(
+        self, config: SimulationConfig, streams: RandomStreams
+    ) -> None:
+        """Build children and the classifier from the simulation config.
+
+        Imports the registry lazily: the registry imports this module
+        to register ``"router"``, so a top-level import back would
+        cycle.
+        """
+        from repro.cc.registry import make_algorithm
+
+        router_config = config.router
+        if router_config is None:
+            router_config = RouterConfig()
+        names: List[str] = []
+        for name in (
+            router_config.read_only_algorithm,
+            *router_config.update_candidates,
+        ):
+            if name not in names:
+                names.append(name)
+        self._children = {
+            name: make_algorithm(name) for name in names
+        }
+        for child in self._children.values():
+            child.bind(config, streams)
+        self._config = router_config
+        self._features = FeatureExtractor(
+            config.database.pages_per_partition, router_config
+        )
+        self._policy = RoutingPolicy(
+            router_config.update_candidates,
+            router_config.epsilon,
+            router_config.min_samples,
+            router_config.abort_penalty,
+            streams,
+        )
+
+    @property
+    def policy(self) -> RoutingPolicy:
+        """The live routing policy (experiment/test support)."""
+        assert self._policy is not None, "router used before bind()"
+        return self._policy
+
+    @property
+    def children(self) -> Dict[str, CCAlgorithm]:
+        """The child algorithms, keyed by registry name."""
+        return self._children
+
+    def make_node_manager(
+        self, node_id: int, context: CCContext
+    ) -> RoutedNodeManager:
+        """One routed manager wrapping every child's manager."""
+        assert self._children, "router used before bind()"
+        return RoutedNodeManager(
+            node_id,
+            context,
+            {
+                name: child.make_node_manager(node_id, context)
+                for name, child in self._children.items()
+            },
+        )
+
+    def _route(self, transaction: Transaction) -> None:
+        assert self._features is not None, "router used before bind()"
+        transaction.routed_class = self._features.classify(transaction)
+        if self._features.is_read_only(transaction):
+            transaction.routed_algorithm = (
+                self._config.read_only_algorithm
+            )
+        else:
+            transaction.routed_algorithm = self._policy.choose(
+                transaction.routed_class
+            )
+
+    def assign_timestamps(
+        self, transaction: Transaction, now: float
+    ) -> None:
+        """Route on first BEGIN, then apply the child's policy."""
+        if transaction.routed_algorithm is None:
+            self._route(transaction)
+        self._children[transaction.routed_algorithm].assign_timestamps(
+            transaction, now
+        )
+
+    def assign_commit_timestamp(
+        self, transaction: Transaction, now: float
+    ) -> Timestamp:
+        """Delegate to the routed child."""
+        child = self._children[transaction.routed_algorithm]
+        return child.assign_commit_timestamp(transaction, now)
+
+    def start_global(self, simulation) -> None:
+        """Start every child's global machinery (e.g. 2PL's Snoop)."""
+        for child in self._children.values():
+            child.start_global(simulation)
+
+    def on_commit(
+        self, transaction: Transaction, response_time: float, now: float
+    ) -> None:
+        """Reward feedback for update classes (read-only is fixed)."""
+        if (
+            transaction.routed_class is not None
+            and transaction.spec.num_updates > 0
+        ):
+            self._policy.record_commit(
+                transaction.routed_class,
+                transaction.routed_algorithm,
+                response_time,
+            )
+
+    def on_abort(
+        self, transaction: Transaction, reason: str, now: float
+    ) -> None:
+        """Abort feedback for update classes."""
+        if (
+            transaction.routed_class is not None
+            and transaction.spec.num_updates > 0
+        ):
+            self._policy.record_abort(
+                transaction.routed_class, transaction.routed_algorithm
+            )

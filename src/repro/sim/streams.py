@@ -234,6 +234,23 @@ register_stream("inst-per-page", "CPU instructions per page access", owner="work
 register_stream("copy-choice", "which replica serves a read", owner="workload")
 register_stream("file-choice", "which partitions FileCount selects", owner="workload")
 register_stream("think-{terminal}", "per-terminal think times", owner="workload")
+register_stream(
+    "page-skew",
+    "Zipf-skewed page choice within a partition (access_skew > 0)",
+    owner="workload",
+)
+# Transaction router (router/classifier.py) — isolated router-* streams
+# so routing decisions never perturb workload or resource sequences.
+register_stream(
+    "router-explore",
+    "epsilon-greedy exploration coin per routed class",
+    owner="router",
+)
+register_stream(
+    "router-choice",
+    "which candidate algorithm an exploration picks",
+    owner="router",
+)
 # Resource model (core/simulation.py).
 register_stream("disk-service-{node}", "per-node disk service times", owner="resources")
 register_stream("disk-choice-{node}", "per-node disk selection", owner="resources")

@@ -2,16 +2,29 @@
 
 import pytest
 
+from repro.cc.mvcc import MultiVersionCC
 from repro.cc.no_dc import NoDataContention
 from repro.cc.optimistic import DistributedCertification
 from repro.cc.registry import (
     ALGORITHM_NAMES,
+    MODERN_NAMES,
     make_algorithm,
     register_algorithm,
 )
 from repro.cc.timestamp_ordering import BasicTimestampOrdering
 from repro.cc.two_phase_locking import TwoPhaseLocking
 from repro.cc.wound_wait import WoundWait
+from repro.router.dispatch import RoutedCC
+
+
+def _bound(name):
+    """Instantiate and late-bind like Simulation.__init__ does."""
+    from repro.core.config import paper_default_config
+    from repro.sim.streams import RandomStreams
+
+    algorithm = make_algorithm(name)
+    algorithm.bind(paper_default_config(name), RandomStreams(0))
+    return algorithm
 
 
 @pytest.mark.parametrize(
@@ -22,6 +35,8 @@ from repro.cc.wound_wait import WoundWait
         ("bto", BasicTimestampOrdering),
         ("opt", DistributedCertification),
         ("no_dc", NoDataContention),
+        ("mvcc", MultiVersionCC),
+        ("router", RoutedCC),
     ],
 )
 def test_lookup_by_name(name, cls):
@@ -29,7 +44,7 @@ def test_lookup_by_name(name, cls):
 
 
 @pytest.mark.parametrize(
-    "spelling", ["2PL", " ww ", "NO_DC", "NODC", "no-dc", "Opt"]
+    "spelling", ["2PL", " ww ", "NO_DC", "NODC", "no-dc", "Opt", "MVCC"]
 )
 def test_tolerant_spellings(spelling):
     make_algorithm(spelling)  # must not raise
@@ -37,11 +52,11 @@ def test_tolerant_spellings(spelling):
 
 def test_unknown_name_rejected():
     with pytest.raises(ValueError, match="unknown"):
-        make_algorithm("mvcc")
+        make_algorithm("mv2pl")
 
 
 def test_all_names_resolvable():
-    for name in ALGORITHM_NAMES:
+    for name in ALGORITHM_NAMES + MODERN_NAMES:
         assert make_algorithm(name).name == name
 
 
@@ -52,8 +67,8 @@ def test_every_algorithm_defines_crash_reset(context):
     deliberate no-op is fine — it has to be a stated decision)."""
     from repro.cc.base import NodeCCManager
 
-    for name in ALGORITHM_NAMES:
-        manager = make_algorithm(name).make_node_manager(0, context)
+    for name in ALGORITHM_NAMES + MODERN_NAMES:
+        manager = _bound(name).make_node_manager(0, context)
         assert (
             type(manager).crash_reset is not NodeCCManager.crash_reset
         ), f"{name}: crash_reset inherited from NodeCCManager"

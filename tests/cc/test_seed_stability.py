@@ -38,7 +38,7 @@ def contended_config(algorithm, seed):
     return config.with_(duration=6.0, warmup=2.0, workload=workload)
 
 
-@pytest.mark.parametrize("algorithm", ["2pl", "ww", "wd"])
+@pytest.mark.parametrize("algorithm", ["2pl", "ww", "wd", "mvcc"])
 @pytest.mark.parametrize("seed", [7, 1234])
 def test_contended_runs_are_bit_identical(algorithm, seed):
     first = run_simulation(contended_config(algorithm, seed))

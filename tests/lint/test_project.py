@@ -179,6 +179,15 @@ _STREAMS_MODULE = """
     register_stream("think-{terminal}")
 """
 
+_ROUTER_STREAMS_MODULE = """
+    def register_stream(name, description=""):
+        return name
+
+    register_stream("page-skew")
+    register_stream("router-explore")
+    register_stream("router-choice")
+"""
+
 
 class TestStreamRegistry:
     def test_misspelled_stream_name_is_one_error(self, tmp_path):
@@ -228,6 +237,43 @@ class TestStreamRegistry:
             },
         )
         assert [v.rule_id for v in violations] == ["stream-registry"]
+
+    def test_unregistered_router_stream_is_one_error(self, tmp_path):
+        """The ``router-*`` family is a set of discrete registered
+        names, not a pattern: a draw from an uninvented sibling
+        (``router-tiebreak``) is the seeded violation."""
+        violations = run_rule(
+            tmp_path,
+            StreamRegistryRule(),
+            {
+                "repro/sim/streams.py": _ROUTER_STREAMS_MODULE,
+                "repro/router/classifier.py": """
+                    def choose(streams):
+                        return streams.get("router-tiebreak")
+                """,
+            },
+        )
+        assert len(violations) == 1
+        (violation,) = violations
+        assert violation.rule_id == "stream-registry"
+        assert "router-tiebreak" in violation.message
+        assert violation.path.endswith("repro/router/classifier.py")
+
+    def test_registered_router_streams_pass(self, tmp_path):
+        violations = run_rule(
+            tmp_path,
+            StreamRegistryRule(),
+            {
+                "repro/sim/streams.py": _ROUTER_STREAMS_MODULE,
+                "repro/router/classifier.py": """
+                    def choose(streams):
+                        coin = streams.get("router-explore")
+                        pick = streams.get("router-choice")
+                        return coin, pick
+                """,
+            },
+        )
+        assert violations == []
 
     def test_dynamic_names_are_never_flagged(self, tmp_path):
         violations = run_rule(
@@ -525,6 +571,58 @@ class TestCCInterface:
                         @abstractmethod
                         def validate(self, cohort):
                             ...
+                """,
+            },
+        )
+        assert violations == []
+
+    def test_router_package_manager_missing_crash_reset(
+        self, tmp_path
+    ):
+        """v2: CC classes living in ``repro/router/`` are covered too —
+        a composite manager without an explicit crash_reset is the
+        seeded violation for the extended include."""
+        violations = run_rule(
+            tmp_path,
+            CCInterfaceRule(),
+            {
+                "repro/cc/base.py": _CC_BASE,
+                "repro/router/dispatch.py": """
+                    from repro.cc.base import NodeCCManager
+
+                    class RoutedManager(NodeCCManager):
+                        def read_request(self, cohort, page):
+                            return 1
+
+                        def commit(self, cohort):
+                            return ()
+                """,
+            },
+        )
+        assert len(violations) == 1
+        (violation,) = violations
+        assert violation.rule_id == "cc-interface"
+        assert "crash_reset" in violation.message
+        assert violation.path.endswith("repro/router/dispatch.py")
+
+    def test_router_package_full_surface_passes(self, tmp_path):
+        violations = run_rule(
+            tmp_path,
+            CCInterfaceRule(),
+            {
+                "repro/cc/base.py": _CC_BASE,
+                "repro/router/dispatch.py": """
+                    from repro.cc.base import NodeCCManager
+
+                    class RoutedManager(NodeCCManager):
+                        def read_request(self, cohort, page):
+                            return 1
+
+                        def commit(self, cohort):
+                            return ()
+
+                        def crash_reset(self):
+                            pass
                 """,
             },
         )
