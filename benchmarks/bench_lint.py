@@ -11,8 +11,19 @@ with ``$REPRO_BENCH_OUT``):
   container pays);
 * **warm** — second run against the populated cache (what an
   incremental run pays: cache hits plus the uncacheable project pass);
-* **project-only** — the whole-program pass alone (model build + the
-  four project rules), isolating the layer this PR added.
+* **project-only** — the whole-program pass alone (model build + all
+  project rules);
+* **flow-only** — the flow-sensitive layer alone: the CFG/dataflow
+  file rules cold over every file, and the taint-based project rules
+  over a prebuilt model, so regressions in the engine show up
+  separately from the rest of the linter.
+
+With ``$REPRO_BENCH_ENFORCE`` set (the CI lint job), the warm-cache
+contract is gated: the warm run must hit the cache for every file and
+stay at least :data:`WARM_SPEEDUP_FLOOR` times faster than cold — if
+a rule's cache signature starts churning per run (the flow rules'
+composite engine hashes are the new way to get that wrong), warm
+degenerates to cold and this trips.
 
 Run standalone for a quick reading::
 
@@ -47,6 +58,18 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 DEFAULT_OUT = REPO_ROOT / "BENCH_lint.json"
 LINTED_TREES = ("src", "benchmarks", "tests")
 
+#: Warm runs must be at least this much faster than cold runs when
+#: ``$REPRO_BENCH_ENFORCE`` is set.
+WARM_SPEEDUP_FLOOR = 1.2
+
+#: The flow-sensitive rules, timed separately.
+FLOW_FILE_RULES = (
+    "float-time-equality",
+    "lock-path-discipline",
+    "waitable-escape",
+)
+FLOW_PROJECT_RULES = ("draw-escape", "race-reconciliation", "time-taint")
+
 
 def _roots() -> list[Path]:
     return [REPO_ROOT / tree for tree in LINTED_TREES]
@@ -65,7 +88,7 @@ def run_benchmark(tmp_cache: Path) -> dict:
 
     started = time.perf_counter()
     from repro.lint.project import ProjectModel
-    from repro.lint.registry import all_project_rules
+    from repro.lint.registry import all_project_rules, get_rule
 
     model = ProjectModel.build(discover_files(_roots()))
     project_findings = sum(
@@ -73,6 +96,22 @@ def run_benchmark(tmp_cache: Path) -> dict:
         for rule in all_project_rules()
     )
     project_seconds = time.perf_counter() - started
+
+    # Flow layer in isolation: CFG/dataflow file rules cold over every
+    # file, then the taint project rules over the already-built model.
+    started = time.perf_counter()
+    flow_file = lint_paths(
+        _roots(),
+        rules=[get_rule(rid) for rid in FLOW_FILE_RULES],
+        cache=None,
+        project_rules=[],
+    )
+    flow_file_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    for rid in FLOW_PROJECT_RULES:
+        get_rule(rid).check_project(model)
+    flow_project_seconds = time.perf_counter() - started
+    assert flow_file.files == cold.files
 
     return {
         "benchmark": "lint_full_tree",
@@ -84,6 +123,8 @@ def run_benchmark(tmp_cache: Path) -> dict:
         "warm_seconds": round(warm_seconds, 4),
         "warm_cache_hits": warm.cache_hits,
         "project_pass_seconds": round(project_seconds, 4),
+        "flow_file_pass_seconds": round(flow_file_seconds, 4),
+        "flow_project_pass_seconds": round(flow_project_seconds, 4),
         "warm_speedup": round(
             cold_seconds / warm_seconds if warm_seconds > 0 else 0.0,
             2,
@@ -126,6 +167,13 @@ def test_lint_full_tree_timing(tmp_path=None):
     print(json.dumps(record, indent=2))
     # The warm run must actually hit the cache for every file.
     assert record["warm_cache_hits"] == record["files"]
+    if os.environ.get("REPRO_BENCH_ENFORCE"):
+        assert record["warm_speedup"] >= WARM_SPEEDUP_FLOOR, (
+            f"warm lint run only {record['warm_speedup']}x faster "
+            f"than cold (floor {WARM_SPEEDUP_FLOOR}x): the per-file "
+            f"cache is not paying for itself — check the rule-set "
+            f"signature for per-run churn"
+        )
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -49,20 +49,29 @@ class BaselineEntry:
     rule: str
     count: int
     reason: str
+    #: Static-evidence lines (``"kind via qualname"``) attached by the
+    #: race-reconciliation pass; empty for ordinary lint waivers and
+    #: omitted from the serialized form when empty.
+    evidence: Tuple[str, ...] = ()
 
     def matches(self, violation: Violation) -> bool:
         if violation.rule_id != self.rule:
             return False
-        vpath = violation.path
-        return vpath == self.path or vpath.endswith("/" + self.path)
+        return self.matches_path(violation.path)
+
+    def matches_path(self, path: str) -> bool:
+        return path == self.path or path.endswith("/" + self.path)
 
     def as_dict(self) -> dict:
-        return {
+        item = {
             "path": self.path,
             "rule": self.rule,
             "count": self.count,
             "reason": self.reason,
         }
+        if self.evidence:
+            item["evidence"] = list(self.evidence)
+        return item
 
 
 class Baseline:
@@ -104,6 +113,10 @@ class Baseline:
                         rule=str(item["rule"]),
                         count=int(item["count"]),
                         reason=str(item.get("reason", "")),
+                        evidence=tuple(
+                            str(line)
+                            for line in item.get("evidence", ())
+                        ),
                     )
                 )
             except (KeyError, TypeError, ValueError) as error:

@@ -80,6 +80,15 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--update-race-evidence",
+        action="store_true",
+        help=(
+            "recompute the static reachability evidence stored on "
+            "each simsan race-baseline entry and rewrite the simsan "
+            "baseline, then exit 0"
+        ),
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         metavar="N",
@@ -208,6 +217,32 @@ def _resolve_baseline(options) -> Optional[Baseline]:
     return None
 
 
+def _update_race_evidence(options) -> int:
+    """Recompute static evidence on the simsan race baseline."""
+    from repro.lint.engine import discover_files
+    from repro.lint.flow.reconcile import (
+        _tree_baseline_path,
+        update_race_evidence,
+    )
+    from repro.lint.project import ProjectModel
+
+    try:
+        files = discover_files([Path(p) for p in options.paths])
+        model = ProjectModel.build(files)
+        target = _tree_baseline_path(model)
+        if target is None or not target.exists():
+            raise ValueError(
+                "no simsan baseline in the linted tree (expected "
+                "next to repro/sanitizer/report.py)"
+            )
+        changed = update_race_evidence(model, target)
+    except (FileNotFoundError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(f"race evidence: {changed} entry(ies) updated in {target}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Run the linter; returns the process exit code."""
     parser = _build_parser()
@@ -216,6 +251,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if options.list_rules:
         print(_list_rules())
         return 0
+
+    if options.update_race_evidence:
+        return _update_race_evidence(options)
 
     try:
         rules, project_rules = _select_rules(

@@ -1,0 +1,2 @@
+"""Flow-sensitive analysis layer: CFGs, reaching definitions, taint
+lattices, and the rules built on them (see DESIGN.md §12)."""

@@ -1,0 +1,391 @@
+"""Per-function control-flow graphs for the flow-sensitive rules.
+
+One node per *simple statement*, one per compound-statement header
+(the ``if``/``while``/``for``/``with`` line itself), plus a synthetic
+``entry``/``exit`` pair, one node per ``except`` clause (hosting the
+``as name`` binding) and one marker per ``finally`` block entry.
+
+Modeled control flow:
+
+* branches — ``if``/``elif``/``else`` with joined fall-through;
+* loops — ``while``/``for`` with back edges, ``break``/``continue``
+  and loop ``else`` clauses;
+* ``return``/``raise`` — edges toward the function exit, routed
+  through the innermost enclosing ``finally`` when one exists;
+* exceptions — an edge from every statement of a ``try`` body to each
+  of its handlers and to its ``finally`` entry, recorded separately
+  (:attr:`CFG.exceptional`) so each analysis opts in or out of
+  exceptional paths explicitly;
+* ``with`` — straight-line flow through the body (``__exit__``
+  interception is not modeled);
+* generators — nothing special: ``yield`` is an expression, so a
+  yielding statement is an ordinary node that control re-enters, and
+  the graph is identical whether or not the caller ever resumes.
+
+Deliberate approximations, all conservative for the rules built on
+top: only *explicit* exceptional flow is modeled (a statement outside
+any ``try`` body gets no "may raise" edge — otherwise every node
+would reach exit and path queries would be vacuous), and ``break`` /
+``return`` do not chain through multiple nested ``finally`` blocks
+(the innermost is entered; its exceptional continuation edge to exit
+covers further propagation).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "CFG",
+    "ENTRY",
+    "EXIT",
+    "build_cfg",
+    "node_expressions",
+]
+
+#: Synthetic node indices present in every graph.
+ENTRY = 0
+EXIT = 1
+
+_MATCH = getattr(ast, "Match", ())
+
+
+def node_expressions(
+    stmt: Optional[ast.AST], kind: str = "stmt"
+) -> List[ast.AST]:
+    """Expression roots evaluated *at* one CFG node.
+
+    For a compound statement this is the header only (the ``if`` test,
+    the ``for`` target and iterable, ...) — body statements are their
+    own nodes — while a simple statement owns every expression child.
+    """
+    if stmt is None or kind == "finally":
+        return []
+    if isinstance(stmt, ast.ExceptHandler):
+        return [stmt.type] if stmt.type is not None else []
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.target, stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        roots: List[ast.AST] = []
+        for item in stmt.items:
+            roots.append(item.context_expr)
+            if item.optional_vars is not None:
+                roots.append(item.optional_vars)
+        return roots
+    if isinstance(stmt, ast.Try):
+        return []
+    if _MATCH and isinstance(stmt, _MATCH):
+        return [stmt.subject]
+    if isinstance(
+        stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        # A nested def/class is an assignment of its name; only the
+        # decorators (and class bases) evaluate here, not the body.
+        roots = list(stmt.decorator_list)
+        if isinstance(stmt, ast.ClassDef):
+            roots.extend(stmt.bases)
+        return roots
+    return [
+        child
+        for child in ast.iter_child_nodes(stmt)
+        if isinstance(child, ast.expr)
+    ]
+
+
+class CFG:
+    """A statement-level control-flow graph for one function."""
+
+    def __init__(self, function: Optional[ast.AST] = None):
+        self.function = function
+        self.stmts: List[Optional[ast.AST]] = [None, None]
+        self.kinds: List[str] = ["entry", "exit"]
+        self.succ: List[Set[int]] = [set(), set()]
+        self.pred: List[Set[int]] = [set(), set()]
+        #: Edges taken only when an exception is in flight.
+        self.exceptional: Set[Tuple[int, int]] = set()
+        self._expr_owner: Optional[Dict[ast.AST, int]] = None
+
+    def __len__(self) -> int:
+        return len(self.stmts)
+
+    def add_node(
+        self, stmt: Optional[ast.AST] = None, kind: str = "stmt"
+    ) -> int:
+        index = len(self.stmts)
+        self.stmts.append(stmt)
+        self.kinds.append(kind)
+        self.succ.append(set())
+        self.pred.append(set())
+        return index
+
+    def add_edge(
+        self, src: int, dst: int, exceptional: bool = False
+    ) -> None:
+        # ``exceptional`` marks edges taken *only* with an exception in
+        # flight; an edge that is also normal fall-through (a try body
+        # reaching its own finally) counts as normal, whichever order
+        # the builder discovered the two roles in.
+        existed = dst in self.succ[src]
+        self.succ[src].add(dst)
+        self.pred[dst].add(src)
+        if exceptional:
+            if not existed or (src, dst) in self.exceptional:
+                self.exceptional.add((src, dst))
+        else:
+            self.exceptional.discard((src, dst))
+
+    def expressions(self, index: int) -> List[ast.AST]:
+        return node_expressions(self.stmts[index], self.kinds[index])
+
+    def label(self, index: int) -> str:
+        """Stable human-readable node label (used by the differential
+        tests to compare against hand-derived edge sets)."""
+        kind = self.kinds[index]
+        if kind in ("entry", "exit"):
+            return kind
+        stmt = self.stmts[index]
+        if kind == "finally":
+            return f"finally@{stmt.lineno}"
+        if isinstance(stmt, ast.ExceptHandler):
+            return f"except@{stmt.lineno}"
+        return f"{type(stmt).__name__}@{stmt.lineno}"
+
+    def edge_labels(
+        self, exceptional: Optional[bool] = None
+    ) -> Set[Tuple[str, str]]:
+        """Edges as ``(src_label, dst_label)`` pairs.
+
+        ``exceptional=None`` returns every edge; ``True``/``False``
+        restricts to exceptional / normal edges respectively.
+        """
+        pairs = set()
+        for src, dsts in enumerate(self.succ):
+            for dst in dsts:
+                is_exc = (src, dst) in self.exceptional
+                if exceptional is not None and is_exc != exceptional:
+                    continue
+                pairs.add((self.label(src), self.label(dst)))
+        return pairs
+
+    def owner_of(self, expr: ast.AST) -> Optional[int]:
+        """The node whose header/statement contains ``expr``."""
+        if self._expr_owner is None:
+            # Keyed by the node objects themselves (AST nodes hash by
+            # identity and the CFG keeps them alive via ``stmts``).
+            owners: Dict[ast.AST, int] = {}
+            for index in range(len(self.stmts)):
+                for root in self.expressions(index):
+                    for sub in ast.walk(root):
+                        owners[sub] = index
+            self._expr_owner = owners
+        return self._expr_owner.get(expr)
+
+    def reaches_exit_avoiding(
+        self,
+        start: int,
+        blocked: Set[int],
+        include_exceptional: bool = True,
+    ) -> bool:
+        """Whether some path from ``start``'s successors reaches exit
+        without passing through any node in ``blocked``."""
+        seen: Set[int] = set()
+        stack = [
+            dst
+            for dst in self.succ[start]
+            if include_exceptional
+            or (start, dst) not in self.exceptional
+        ]
+        while stack:
+            node = stack.pop()
+            if node in seen or node in blocked:
+                continue
+            if node == EXIT:
+                return True
+            seen.add(node)
+            stack.extend(
+                dst
+                for dst in self.succ[node]
+                if include_exceptional
+                or (node, dst) not in self.exceptional
+            )
+        return False
+
+
+class _LoopFrame:
+    __slots__ = ("head", "breaks")
+
+    def __init__(self, head: int):
+        self.head = head
+        self.breaks: List[int] = []
+
+
+class _TryFrame:
+    """Exception-edge targets active while building a ``try`` body."""
+
+    __slots__ = ("targets",)
+
+    def __init__(self, targets: Sequence[int]):
+        self.targets = list(targets)
+
+
+class _Builder:
+    def __init__(self, function: ast.AST):
+        self.function = function
+        self.cfg = CFG(function)
+        self.loops: List[_LoopFrame] = []
+        self.tries: List[_TryFrame] = []
+        self.finallies: List[int] = []
+
+    def build(self) -> CFG:
+        out = self._seq(list(self.function.body), [ENTRY])
+        for pred in out:
+            self.cfg.add_edge(pred, EXIT)
+        return self.cfg
+
+    # ------------------------------------------------------------------
+
+    def _new_node(
+        self,
+        stmt: Optional[ast.AST],
+        kind: str = "stmt",
+        preds: Sequence[int] = (),
+    ) -> int:
+        index = self.cfg.add_node(stmt, kind)
+        for pred in preds:
+            self.cfg.add_edge(pred, index)
+        if self.tries:
+            for target in self.tries[-1].targets:
+                self.cfg.add_edge(index, target, exceptional=True)
+        return index
+
+    def _seq(
+        self, stmts: Sequence[ast.AST], preds: Sequence[int]
+    ) -> List[int]:
+        current = list(preds)
+        for stmt in stmts:
+            current = self._stmt(stmt, current)
+        return current
+
+    def _stmt(
+        self, stmt: ast.AST, preds: List[int]
+    ) -> List[int]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, preds)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, preds)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, preds)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = self._new_node(stmt, preds=preds)
+            return self._seq(stmt.body, [node])
+        if _MATCH and isinstance(stmt, _MATCH):
+            node = self._new_node(stmt, preds=preds)
+            outs = [node]  # conservative no-match fall-through
+            for case in stmt.cases:
+                outs.extend(self._seq(case.body, [node]))
+            return outs
+        if isinstance(stmt, ast.Return):
+            node = self._new_node(stmt, preds=preds)
+            target = self.finallies[-1] if self.finallies else EXIT
+            self.cfg.add_edge(node, target)
+            return []
+        if isinstance(stmt, ast.Raise):
+            node = self._new_node(stmt, preds=preds)
+            if self.tries:
+                for target in self.tries[-1].targets:
+                    self.cfg.add_edge(
+                        node, target, exceptional=True
+                    )
+            else:
+                target = (
+                    self.finallies[-1] if self.finallies else EXIT
+                )
+                self.cfg.add_edge(node, target, exceptional=True)
+            return []
+        if isinstance(stmt, ast.Break):
+            node = self._new_node(stmt, preds=preds)
+            if self.loops:
+                self.loops[-1].breaks.append(node)
+            return []
+        if isinstance(stmt, ast.Continue):
+            node = self._new_node(stmt, preds=preds)
+            if self.loops:
+                self.cfg.add_edge(node, self.loops[-1].head)
+            return []
+        return [self._new_node(stmt, preds=preds)]
+
+    def _if(self, stmt: ast.If, preds: List[int]) -> List[int]:
+        node = self._new_node(stmt, preds=preds)
+        then_out = self._seq(stmt.body, [node])
+        if stmt.orelse:
+            else_out = self._seq(stmt.orelse, [node])
+        else:
+            else_out = [node]
+        return then_out + else_out
+
+    def _loop(self, stmt: ast.AST, preds: List[int]) -> List[int]:
+        head = self._new_node(stmt, preds=preds)
+        frame = _LoopFrame(head)
+        self.loops.append(frame)
+        body_out = self._seq(stmt.body, [head])
+        self.loops.pop()
+        for pred in body_out:
+            self.cfg.add_edge(pred, head)  # back edge
+        if stmt.orelse:
+            out = self._seq(stmt.orelse, [head])
+        else:
+            out = [head]
+        return out + frame.breaks
+
+    def _try(self, stmt: ast.Try, preds: List[int]) -> List[int]:
+        # Handler/finally entry nodes are created *before* this try's
+        # frame is pushed, so they carry the exception edges of any
+        # enclosing frame (a raise escaping a handler propagates out).
+        handler_nodes = [
+            self._new_node(handler, kind="handler")
+            for handler in stmt.handlers
+        ]
+        fin_node = (
+            self._new_node(stmt, kind="finally")
+            if stmt.finalbody
+            else None
+        )
+        targets = list(handler_nodes)
+        if fin_node is not None:
+            targets.append(fin_node)
+            self.finallies.append(fin_node)
+        self.tries.append(_TryFrame(targets))
+        body_out = self._seq(stmt.body, preds)
+        self.tries.pop()
+        # The else clause and the handler bodies run with the handlers
+        # no longer active, but a finally still intercepts them.
+        if fin_node is not None:
+            self.tries.append(_TryFrame([fin_node]))
+        if stmt.orelse:
+            else_out = self._seq(stmt.orelse, body_out)
+        else:
+            else_out = body_out
+        handler_outs: List[int] = []
+        for hnode, handler in zip(handler_nodes, stmt.handlers):
+            handler_outs.extend(self._seq(handler.body, [hnode]))
+        if fin_node is None:
+            return else_out + handler_outs
+        self.tries.pop()
+        self.finallies.pop()
+        for pred in else_out + handler_outs:
+            self.cfg.add_edge(pred, fin_node)
+        fin_out = self._seq(stmt.finalbody, [fin_node])
+        # Exceptional continuation: the finally block may have been
+        # entered with a pending exception or early return, in which
+        # case control leaves the function when it completes.
+        for pred in fin_out:
+            self.cfg.add_edge(pred, EXIT, exceptional=True)
+        return fin_out
+
+
+def build_cfg(function: ast.AST) -> CFG:
+    """Build the CFG for one ``FunctionDef``/``AsyncFunctionDef``."""
+    return _Builder(function).build()

@@ -1,0 +1,324 @@
+"""Reaching definitions and def-use chains over one function CFG.
+
+The classic forward may-analysis: a *definition* is one binding of a
+local name at one CFG node (an assignment, an augmented assignment, a
+loop target, a ``with ... as`` binding, an ``except ... as`` binding, a
+walrus, a parameter at entry).  ``ReachingDefs`` computes, for every
+node, which definitions of each name may be live on some path reaching
+it; the flow rules then ask questions like "is every definition of
+``now`` reaching this comparison a plain copy of a stored schedule
+time?" without caring how the worklist converged.
+
+Scope discipline matches the per-file rules elsewhere in the linter:
+analysis is per function, names assigned in nested functions or
+lambdas do not exist here, and anything the analysis cannot prove it
+reports as :data:`OPAQUE` — the rules treat opaque as "unknown
+provenance", never as "safe".
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.flow.cfg import CFG, ENTRY, build_cfg, node_expressions
+
+__all__ = [
+    "Definition",
+    "FunctionFlow",
+    "ReachingDefs",
+    "name_loads",
+]
+
+#: ``Definition.kind`` values.  ``assign`` carries the bound value
+#: expression; every other kind is an opaque (re)binding.
+ASSIGN = "assign"
+AUG = "aug"
+PARAM = "param"
+OPAQUE = "opaque"
+
+
+@dataclass(frozen=True)
+class Definition:
+    """One binding of ``var`` at CFG node ``node``."""
+
+    var: str
+    node: int
+    kind: str = ASSIGN
+    #: The bound expression for ``assign``/``aug`` kinds, else None.
+    value: Optional[ast.AST] = field(default=None, compare=False)
+
+    def __hash__(self) -> int:  # value is auxiliary, not identity
+        return hash((self.var, self.node, self.kind))
+
+
+def _target_names(target: ast.AST) -> Iterable[Tuple[str, bool]]:
+    """``(name, is_simple)`` pairs bound by an assignment target.
+
+    ``is_simple`` is True only for a bare ``Name`` target — tuple
+    elements, starred targets, and subscript/attribute stores bind (or
+    mutate) in ways the copy analysis must treat as opaque.
+    """
+    if isinstance(target, ast.Name):
+        yield target.id, True
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            if isinstance(element, ast.Starred):
+                element = element.value
+            for name, _simple in _target_names(element):
+                yield name, False
+
+
+def name_loads(expr: ast.AST) -> Set[str]:
+    """Names read (Load context) anywhere under ``expr``, excluding
+    nested function/lambda bodies."""
+    loads: Set[str] = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, ast.Load
+        ):
+            loads.add(node.id)
+        stack.extend(ast.iter_child_nodes(node))
+    return loads
+
+
+class ReachingDefs:
+    """Reaching-definition sets for one CFG.
+
+    ``include_exceptional`` controls whether definitions flow along
+    exceptional edges; the default is True (a handler sees whatever
+    was bound before the raise), which is the conservative choice for
+    every rule built on top.
+    """
+
+    def __init__(self, cfg: CFG, include_exceptional: bool = True):
+        self.cfg = cfg
+        self.include_exceptional = include_exceptional
+        #: Per-node generated definitions.
+        self.gen: List[List[Definition]] = []
+        #: Names whose binding is unanalyzable (global/nonlocal, del).
+        self.escaped: Set[str] = set()
+        self._collect()
+        #: IN sets: node -> var -> reaching definitions.
+        self.reach_in: List[Dict[str, FrozenSet[Definition]]] = []
+        self._solve()
+
+    # ------------------------------------------------------------------
+    # Definition collection
+    # ------------------------------------------------------------------
+
+    def _collect(self) -> None:
+        cfg = self.cfg
+        for index in range(len(cfg)):
+            self.gen.append(self._gen(index))
+
+    def _gen(self, index: int) -> List[Definition]:
+        cfg = self.cfg
+        stmt = cfg.stmts[index]
+        kind = cfg.kinds[index]
+        defs: List[Definition] = []
+        if index == ENTRY:
+            function = cfg.function
+            args = getattr(function, "args", None)
+            if args is not None:
+                params = (
+                    list(args.posonlyargs)
+                    + list(args.args)
+                    + list(args.kwonlyargs)
+                )
+                if args.vararg:
+                    params.append(args.vararg)
+                if args.kwarg:
+                    params.append(args.kwarg)
+                for param in params:
+                    defs.append(
+                        Definition(param.arg, index, kind=PARAM)
+                    )
+            return defs
+        if stmt is None or kind == "finally":
+            return defs
+        if isinstance(stmt, ast.ExceptHandler):
+            if stmt.name:
+                defs.append(Definition(stmt.name, index, kind=OPAQUE))
+            self._walrus_defs(stmt.type, index, defs)
+            return defs
+        if isinstance(stmt, (ast.Global, ast.Nonlocal)):
+            self.escaped.update(stmt.names)
+            return defs
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.escaped.add(target.id)
+            return defs
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                for name, simple in _target_names(target):
+                    defs.append(
+                        Definition(
+                            name,
+                            index,
+                            kind=ASSIGN if simple else OPAQUE,
+                            value=stmt.value if simple else None,
+                        )
+                    )
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None and isinstance(
+                stmt.target, ast.Name
+            ):
+                defs.append(
+                    Definition(
+                        stmt.target.id,
+                        index,
+                        kind=ASSIGN,
+                        value=stmt.value,
+                    )
+                )
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name):
+                defs.append(
+                    Definition(
+                        stmt.target.id, index, kind=AUG, value=stmt.value
+                    )
+                )
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            for name, _simple in _target_names(stmt.target):
+                defs.append(Definition(name, index, kind=OPAQUE))
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    for name, _simple in _target_names(
+                        item.optional_vars
+                    ):
+                        defs.append(
+                            Definition(name, index, kind=OPAQUE)
+                        )
+        elif isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            defs.append(Definition(stmt.name, index, kind=OPAQUE))
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                if bound != "*":
+                    defs.append(Definition(bound, index, kind=OPAQUE))
+        # Walrus bindings inside any expression evaluated at this node.
+        for root in node_expressions(stmt, kind):
+            self._walrus_defs(root, index, defs)
+        return defs
+
+    @staticmethod
+    def _walrus_defs(
+        root: Optional[ast.AST], index: int, defs: List[Definition]
+    ) -> None:
+        if root is None:
+            return
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+            ):
+                continue
+            if isinstance(node, ast.NamedExpr) and isinstance(
+                node.target, ast.Name
+            ):
+                defs.append(
+                    Definition(
+                        node.target.id,
+                        index,
+                        kind=ASSIGN,
+                        value=node.value,
+                    )
+                )
+            stack.extend(ast.iter_child_nodes(node))
+
+    # ------------------------------------------------------------------
+    # Worklist solve
+    # ------------------------------------------------------------------
+
+    def _solve(self) -> None:
+        cfg = self.cfg
+        size = len(cfg)
+        reach_out: List[Dict[str, FrozenSet[Definition]]] = [
+            {} for _ in range(size)
+        ]
+        self.reach_in = [{} for _ in range(size)]
+        worklist = list(range(size))
+        in_worklist = [True] * size
+        while worklist:
+            node = worklist.pop(0)
+            in_worklist[node] = False
+            merged: Dict[str, Set[Definition]] = {}
+            for pred in cfg.pred[node]:
+                if (
+                    not self.include_exceptional
+                    and (pred, node) in cfg.exceptional
+                ):
+                    continue
+                for var, defs in reach_out[pred].items():
+                    merged.setdefault(var, set()).update(defs)
+            new_in = {
+                var: frozenset(defs) for var, defs in merged.items()
+            }
+            self.reach_in[node] = new_in
+            out: Dict[str, FrozenSet[Definition]] = dict(new_in)
+            for definition in self.gen[node]:
+                out[definition.var] = frozenset((definition,))
+            if out != reach_out[node]:
+                reach_out[node] = out
+                for succ in cfg.succ[node]:
+                    if not in_worklist[succ]:
+                        in_worklist[succ] = True
+                        worklist.append(succ)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def definitions_of(
+        self, var: str, node: int
+    ) -> FrozenSet[Definition]:
+        """Definitions of ``var`` that may reach ``node`` (its IN set).
+
+        An empty set means no local binding reaches here — the name is
+        a global, builtin, or closure variable.  Names declared
+        ``global``/``nonlocal`` (or ``del``-ed) report as a single
+        opaque definition: their provenance is unanalyzable.
+        """
+        if var in self.escaped:
+            return frozenset((Definition(var, ENTRY, kind=OPAQUE),))
+        return self.reach_in[node].get(var, frozenset())
+
+
+class FunctionFlow:
+    """CFG + reaching definitions for one function, built lazily and
+    shared by every flow rule analyzing that function."""
+
+    def __init__(self, function: ast.AST):
+        self.function = function
+        self.cfg = build_cfg(function)
+        self._rdefs: Optional[ReachingDefs] = None
+
+    @property
+    def rdefs(self) -> ReachingDefs:
+        if self._rdefs is None:
+            self._rdefs = ReachingDefs(self.cfg)
+        return self._rdefs
+
+    def owner_of(self, expr: ast.AST) -> Optional[int]:
+        return self.cfg.owner_of(expr)
+
+    def node_uses(self, index: int) -> Set[str]:
+        """Names loaded by the expressions evaluated at one node."""
+        loads: Set[str] = set()
+        for root in self.cfg.expressions(index):
+            loads |= name_loads(root)
+        return loads

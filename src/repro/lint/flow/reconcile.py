@@ -1,0 +1,311 @@
+"""Static↔runtime reconciliation of simsan's race baseline.
+
+simsan's committed baseline (``repro/sanitizer/baseline.json``) lists
+the same-timestamp races the determinism audit observed at runtime and
+a human judged benign.  Each entry names a file, a count, and a prose
+reason — runtime evidence.  This module derives the *static* half of
+the contract: for every baselined file, which shared-state kinds
+(``lock``, ``cpu``, ``disk``, ``mailbox``, ``net``, ``stream``,
+``dispatch``) the file's code can reach, and through which witness
+function.
+
+The derived evidence is stored on each baseline entry (``"evidence":
+["cpu via repro.core.resource_manager.ResourceManager._run_cpu",
+...]``) by ``repro-lint --update-race-evidence`` and re-derived on
+every lint run by :class:`RaceReconciliationRule`:
+
+* an entry with **no** evidence fails lint — a runtime waiver without
+  a machine-checked justification;
+* an entry whose stored evidence no longer matches the derived set
+  fails lint — either the code grew a *new* statically-reachable race
+  surface (which must be re-audited, not silently inherited by the
+  waiver) or it lost one (the waiver is broader than the code).
+
+Reachability is a breadth-first walk of the PR-5 call graph, bounded
+at :data:`MAX_DEPTH` calls, seeded with the file's own functions plus
+the classes it constructs (constructing ``Disk(...)`` makes ``Disk``'s
+methods reachable even when the instances live in a list the call
+graph cannot type).  Anchors are syntactic: explicit sanitizer hooks
+(``san.write(("cpu", ...))``), stream draws, network posts, and
+``env.run`` dispatch loops.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.flow.taint import is_stream_draw_call
+from repro.lint.project import (
+    FunctionInfo,
+    ModuleInfo,
+    ProjectModel,
+    _dotted_name,
+    _is_network_ref,
+    function_body_walk,
+)
+from repro.lint.registry import ProjectRule, register_project
+from repro.lint.rules import _mentions_env
+from repro.lint.violations import Violation
+
+__all__ = [
+    "MAX_DEPTH",
+    "RaceReconciliationRule",
+    "derive_evidence",
+    "simsan_baseline_path",
+    "update_race_evidence",
+]
+
+#: Call-graph depth bound for the reachability walk ("bounded
+#: context"): the witness chain from a baselined file to a shared-state
+#: anchor may cross at most this many resolved calls.
+MAX_DEPTH = 3
+
+
+def simsan_baseline_path() -> Path:
+    """The committed simsan race baseline."""
+    from repro.sanitizer.report import default_baseline_path
+
+    return default_baseline_path()
+
+
+def _tree_baseline_path(model: ProjectModel) -> Optional[Path]:
+    """The simsan baseline belonging to the *linted* tree.
+
+    Resolved next to the tree's own ``repro/sanitizer/report.py`` so a
+    lint run over a fixture tree (tests, partial checkouts) never
+    reconciles against the installed package's baseline — a tree
+    without the sanitizer package has no race baseline to reconcile.
+    """
+    for module in model.modules.values():
+        if module.path.endswith("repro/sanitizer/report.py"):
+            return Path(module.path).parent / "baseline.json"
+    return None
+
+
+def _is_sanitizer_ref(node: ast.AST) -> bool:
+    name = ""
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    return name in ("san", "_san") or "sanitizer" in name
+
+
+def _direct_kinds(fn: FunctionInfo) -> Set[str]:
+    """Shared-state kinds this function's own body touches."""
+    kinds: Set[str] = set()
+    for node in function_body_walk(fn.node):
+        if is_stream_draw_call(node):
+            kinds.add("stream")
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+        ):
+            continue
+        attr = node.func.attr
+        receiver = node.func.value
+        if (
+            attr in ("write", "read")
+            and _is_sanitizer_ref(receiver)
+            and node.args
+        ):
+            first = node.args[0]
+            if (
+                isinstance(first, ast.Tuple)
+                and first.elts
+                and isinstance(first.elts[0], ast.Constant)
+                and isinstance(first.elts[0].value, str)
+            ):
+                kinds.add(first.elts[0].value)
+        elif attr in ("check_stream", "wrap_stream"):
+            kinds.add("stream")
+        elif attr == "post" and _is_network_ref(receiver):
+            kinds.add("net")
+        elif attr == "run" and _mentions_env(receiver):
+            kinds.add("dispatch")
+    return kinds
+
+
+def _constructed_classes(
+    model: ProjectModel, fn: FunctionInfo
+) -> List[str]:
+    """Qualnames of methods of classes ``fn`` visibly constructs."""
+    module = model.modules.get(fn.module)
+    if module is None:
+        return []
+    methods: List[str] = []
+    for node in function_body_walk(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        spelled = _dotted_name(node.func)
+        if spelled is None:
+            continue
+        cls = model.resolve_class(module, spelled)
+        if cls is None:
+            continue
+        methods.extend(
+            method.qualname for method in cls.methods.values()
+        )
+    return methods
+
+
+def derive_evidence(
+    model: ProjectModel, module: ModuleInfo
+) -> List[str]:
+    """``"kind via witness-qualname"`` lines for one baselined module.
+
+    Deterministic: breadth-first over the call graph (closest witness
+    wins, lexicographic within a level), one witness per kind, output
+    sorted.
+    """
+    graph = model.call_graph()
+    roots = sorted(
+        fn.qualname
+        for fn in model.functions.values()
+        if fn.module == module.name
+    )
+    witness: Dict[str, str] = {}
+    seen: Set[str] = set(roots)
+    frontier: List[str] = roots
+    for _depth in range(MAX_DEPTH + 1):
+        if not frontier:
+            break
+        next_frontier: Set[str] = set()
+        for qualname in frontier:
+            fn = model.functions.get(qualname)
+            if fn is None:
+                continue
+            for kind in sorted(_direct_kinds(fn)):
+                witness.setdefault(kind, qualname)
+            next_frontier.update(graph.get(qualname, ()))
+            next_frontier.update(_constructed_classes(model, fn))
+        frontier = sorted(next_frontier - seen)
+        seen |= next_frontier
+    return sorted(
+        f"{kind} via {qualname}"
+        for kind, qualname in witness.items()
+    )
+
+
+def _module_for_entry(
+    model: ProjectModel, entry: BaselineEntry
+) -> Optional[ModuleInfo]:
+    for module in model.modules.values():
+        if entry.matches_path(module.path):
+            return module
+    return None
+
+
+def update_race_evidence(
+    model: ProjectModel, baseline_path: Optional[Path] = None
+) -> int:
+    """Recompute and store evidence on every simsan baseline entry.
+
+    Returns the number of entries whose evidence changed.  Entries
+    whose file is outside the linted tree are left untouched.
+    """
+    import dataclasses
+
+    path = baseline_path or simsan_baseline_path()
+    baseline = Baseline.load(path)
+    changed = 0
+    updated: List[BaselineEntry] = []
+    for entry in baseline.entries:
+        module = _module_for_entry(model, entry)
+        if module is None:
+            updated.append(entry)
+            continue
+        evidence = tuple(derive_evidence(model, module))
+        if evidence != entry.evidence:
+            changed += 1
+        updated.append(
+            dataclasses.replace(entry, evidence=evidence)
+        )
+    Baseline(updated).write(path)
+    return changed
+
+
+@register_project
+class RaceReconciliationRule(ProjectRule):
+    """Every simsan-baselined race must carry current static evidence."""
+
+    rule_id = "race-reconciliation"
+    summary = (
+        "simsan runtime race baseline entry lacks matching static "
+        "evidence: each confirmed-benign race waiver must name the "
+        "shared-state kinds its file can statically reach, and the "
+        "stored set must match what the call graph derives today; "
+        "re-audit the new surface, then refresh with "
+        "--update-race-evidence"
+    )
+    severity = "error"
+    version = 1
+    include = ("repro/",)
+
+    #: Test seam: overrides the committed baseline location.
+    baseline_path: Optional[Path] = None
+
+    def check_project(self, model) -> List[Violation]:
+        path = self.baseline_path or _tree_baseline_path(model)
+        if path is None or not Path(path).exists():
+            return []
+        try:
+            baseline = Baseline.load(path)
+        except ValueError:
+            return []  # simsan's own tooling reports malformed files
+        violations: List[Violation] = []
+        reported: Set[str] = set()
+        for entry in baseline.entries:
+            module = _module_for_entry(model, entry)
+            if module is None or not self.applies_to(module.path):
+                continue  # partial lint: file not in this run's model
+            derived = derive_evidence(model, module)
+            message = self._mismatch(entry, derived)
+            if message is None or entry.path in reported:
+                continue
+            reported.add(entry.path)
+            violations.append(
+                Violation(
+                    rule_id=self.rule_id,
+                    path=module.path,
+                    line=1,
+                    col=1,
+                    message=message,
+                    severity=self.severity,
+                )
+            )
+        return violations
+
+    @staticmethod
+    def _mismatch(
+        entry: BaselineEntry, derived: List[str]
+    ) -> Optional[str]:
+        if not entry.evidence:
+            return (
+                f"baselined race in {entry.path} carries no static "
+                f"evidence (derived: {', '.join(derived) or 'none'}); "
+                f"run repro-lint --update-race-evidence after "
+                f"auditing"
+            )
+        stored = set(entry.evidence)
+        current = set(derived)
+        if stored == current:
+            return None
+        grown = sorted(current - stored)
+        lost = sorted(stored - current)
+        parts = []
+        if grown:
+            parts.append(
+                "new statically-reachable shared state: "
+                + ", ".join(grown)
+            )
+        if lost:
+            parts.append("stale evidence: " + ", ".join(lost))
+        return (
+            f"static evidence for baselined race in {entry.path} is "
+            f"out of date ({'; '.join(parts)}); re-audit the change, "
+            f"then run repro-lint --update-race-evidence"
+        )

@@ -1,0 +1,634 @@
+"""Flow-sensitive rules: the checks that need paths, not patterns.
+
+Four rule classes built on the CFG / reaching-definitions / taint
+layers (plus the static↔runtime reconciliation rule registered from
+:mod:`repro.lint.flow.reconcile`):
+
+``time-taint``
+    The interprocedural generalization of ``float-time-equality``:
+    values *derived by arithmetic* from simulated time (``now +
+    delay``, interest accrued across helper returns) flowing into
+    ``==``/``!=``/``in``, dict keys, set elements, ``hash()``, or
+    subscript-store keys.  Pure copies of stored schedule times are
+    exempt — they compare exactly by construction.
+``draw-escape``
+    RNG draw results crossing a message boundary (posted over the
+    simulated network) or stored into a hash-ordered ``set``: either
+    way the draw is consumed in an order the stream discipline cannot
+    pin, so common-random-numbers comparisons silently decouple.
+``waitable-escape``
+    A Waitable created from the environment and, on some normal path,
+    neither yielded nor cancelled nor handed off: the kernel carries a
+    pending event forever (the static twin of simsan's leak audit).
+``lock-path-discipline``
+    CC code that acquires a lock-table entry must consume the
+    acquisition result on *every* CFG path out — including exception
+    edges — so no path can leave a granted-or-queued request dangling.
+
+All four fail the run (``error``); ``--select``/``--ignore``,
+suppressions, baselines, and ``--jobs`` apply exactly as they do to
+every other rule.  The file rules declare the engine modules in
+``extra_hash_modules`` so an engine edit busts their cached verdicts.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.lint.flow.dataflow import FunctionFlow
+from repro.lint.flow.taint import (
+    DrawTaint,
+    ProjectTaint,
+    SINK_EQUALITY,
+    TimeTaint,
+    is_stream_draw_call,
+    is_timeish,
+    iter_hash_sinks,
+)
+from repro.lint.registry import (
+    ProjectRule,
+    Rule,
+    register,
+    register_project,
+)
+from repro.lint.project import _is_network_ref
+from repro.lint.rules import _is_env_waitable_call
+from repro.lint.violations import Violation
+
+__all__ = [
+    "DrawEscapeRule",
+    "ENGINE_MODULES",
+    "LockPathDisciplineRule",
+    "TimeTaintRule",
+    "WaitableEscapeRule",
+]
+
+#: Engine modules every flow rule's cached verdicts depend on.
+ENGINE_MODULES = (
+    "repro.lint.flow.cfg",
+    "repro.lint.flow.dataflow",
+    "repro.lint.flow.taint",
+)
+
+
+def _scopes(tree: ast.AST) -> List[ast.AST]:
+    """Every analysis scope in one file: the module, each class body,
+    each (nested) function."""
+    scopes: List[ast.AST] = [tree]
+    for node in ast.walk(tree):
+        if isinstance(
+            node,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+        ):
+            scopes.append(node)
+    return scopes
+
+
+def _parent_map(root: ast.AST) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(root):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _node_index_of(flow: FunctionFlow, stmt: ast.AST) -> Optional[int]:
+    for index, candidate in enumerate(flow.cfg.stmts):
+        if candidate is stmt:
+            return index
+    return None
+
+
+# ======================================================================
+# waitable-escape
+# ======================================================================
+
+
+@register
+class WaitableEscapeRule(Rule):
+    """Waitables provably never yielded nor cancelled on some path."""
+
+    rule_id = "waitable-escape"
+    summary = (
+        "Waitable created here is neither yielded nor cancelled on "
+        "some path to function exit: the kernel keeps the pending "
+        "event alive forever (simsan's leak audit would report it at "
+        "runtime); yield it, cancel it, or hand it off explicitly"
+    )
+    severity = "error"
+    version = 1
+    include = ("repro/",)
+    extra_hash_modules = ENGINE_MODULES
+
+    #: Method calls that settle a waitable in place.
+    _CONSUME_METHODS = frozenset(
+        {"cancel", "succeed", "fail", "trigger"}
+    )
+
+    def check(self, tree, source, path):
+        violations: List[Violation] = []
+        for scope in _scopes(tree):
+            self._check_scope(scope, path, violations)
+        return violations
+
+    def _check_scope(
+        self, scope: ast.AST, path: str, violations: List[Violation]
+    ) -> None:
+        candidates = self._candidates(scope)
+        if not candidates:
+            return
+        flow = FunctionFlow(scope)
+        for var, stmt in candidates:
+            def_index = _node_index_of(flow, stmt)
+            if def_index is None:
+                continue
+            escaped, consuming = self._classify_uses(
+                flow, var, stmt
+            )
+            if escaped:
+                continue  # handed off somewhere we cannot track
+            if not consuming or flow.cfg.reaches_exit_avoiding(
+                def_index, consuming, include_exceptional=False
+            ):
+                violations.append(self.violation(path, stmt))
+
+    @staticmethod
+    def _candidates(
+        scope: ast.AST,
+    ) -> List[Tuple[str, ast.Assign]]:
+        found: List[Tuple[str, ast.Assign]] = []
+        stack = list(scope.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                 ast.ClassDef),
+            ):
+                continue
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and _is_env_waitable_call(node.value)
+            ):
+                found.append((node.targets[0].id, node))
+            stack.extend(ast.iter_child_nodes(node))
+        return found
+
+    def _classify_uses(
+        self, flow: FunctionFlow, var: str, defining: ast.Assign
+    ) -> Tuple[bool, Set[int]]:
+        """(some use escapes tracking, node indices with a consuming
+        use) for every load of ``var`` outside its defining assign."""
+        consuming: Set[int] = set()
+        for index, stmt in enumerate(flow.cfg.stmts):
+            if stmt is defining:
+                continue
+            for root in flow.cfg.expressions(index):
+                parents = _parent_map(root)
+                for node in ast.walk(root):
+                    if not (
+                        isinstance(node, ast.Name)
+                        and node.id == var
+                        and isinstance(node.ctx, ast.Load)
+                    ):
+                        continue
+                    verdict = self._classify_one(
+                        node, parents, root, stmt
+                    )
+                    if verdict == "escape":
+                        return True, consuming
+                    if verdict == "consume":
+                        consuming.add(index)
+        return False, consuming
+
+    def _classify_one(
+        self,
+        name: ast.Name,
+        parents: Dict[ast.AST, ast.AST],
+        root: ast.AST,
+        stmt: Optional[ast.AST],
+    ) -> str:
+        parent = parents.get(name)
+        if parent is None:
+            # The name is the whole expression root: a Return value,
+            # an Assign value (alias/store), a bare Expr...  Only a
+            # handful of statements evaluate a bare name root.
+            if isinstance(stmt, (ast.Return, ast.Assign,
+                                 ast.AnnAssign)):
+                return "escape"
+            return "neutral"
+        if isinstance(parent, ast.Yield) and parent.value is name:
+            return "consume"
+        if isinstance(parent, ast.Attribute) and parent.value is name:
+            grand = parents.get(parent)
+            if (
+                parent.attr in self._CONSUME_METHODS
+                and isinstance(grand, ast.Call)
+                and grand.func is parent
+            ):
+                return "consume"
+            return "neutral"  # attribute read (x.time, x.done)
+        if isinstance(parent, ast.Call):
+            if name in parent.args or any(
+                keyword.value is name
+                for keyword in parent.keywords
+            ):
+                return "escape"
+            return "neutral"
+        if isinstance(
+            parent,
+            (ast.Compare, ast.BoolOp, ast.UnaryOp, ast.IfExp),
+        ):
+            return "neutral"
+        if isinstance(stmt, (ast.If, ast.While)):
+            return "neutral"  # truthiness test
+        # Containers, subscripts, starred args, returns of
+        # expressions, f-strings, anything else: assume handed off.
+        return "escape"
+
+
+# ======================================================================
+# lock-path-discipline
+# ======================================================================
+
+
+def _is_lockish(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return "lock" in node.id.lower()
+    if isinstance(node, ast.Attribute):
+        return "lock" in node.attr.lower()
+    return False
+
+
+@register
+class LockPathDisciplineRule(Rule):
+    """Acquire results must be consumed on every path out."""
+
+    rule_id = "lock-path-discipline"
+    summary = (
+        "lock-table acquire whose result escapes inspection on some "
+        "CFG path (including exception edges): every path out of a CC "
+        "method must branch on the grant or hand the request to "
+        "conflict handling, or a queued entry dangles past a release"
+    )
+    severity = "error"
+    version = 1
+    include = ("repro/cc/", "repro/router/")
+    extra_hash_modules = ENGINE_MODULES
+
+    def check(self, tree, source, path):
+        violations: List[Violation] = []
+        for scope in _scopes(tree):
+            self._check_scope(scope, path, violations)
+        return violations
+
+    def _check_scope(
+        self, scope: ast.AST, path: str, violations: List[Violation]
+    ) -> None:
+        acquires = self._acquire_statements(scope)
+        if not acquires:
+            return
+        flow = FunctionFlow(scope)
+        for stmt, names in acquires:
+            index = _node_index_of(flow, stmt)
+            if index is None:
+                continue
+            if names is None:
+                # Bare-expression acquire: the (granted, request)
+                # result is discarded on *every* path.
+                violations.append(
+                    self.violation(
+                        path,
+                        stmt,
+                        "lock acquire result discarded: the grant "
+                        "flag and queued request are unreachable, so "
+                        "no path can release or abort the entry",
+                    )
+                )
+                continue
+            blocked = {
+                other
+                for other in range(len(flow.cfg))
+                if other != index
+                and names & flow.node_uses(other)
+            }
+            if flow.cfg.reaches_exit_avoiding(
+                index, blocked, include_exceptional=True
+            ):
+                violations.append(self.violation(path, stmt))
+
+    @staticmethod
+    def _acquire_statements(
+        scope: ast.AST,
+    ) -> List[Tuple[ast.AST, Optional[FrozenSet[str]]]]:
+        """(statement, assigned-result names) per lock acquire; the
+        names are None when the result is discarded outright."""
+        found: List[Tuple[ast.AST, Optional[FrozenSet[str]]]] = []
+        stack = list(scope.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                 ast.ClassDef),
+            ):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+            value = None
+            if isinstance(node, (ast.Expr, ast.Assign)):
+                value = node.value
+            if not (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr == "acquire"
+                and _is_lockish(value.func.value)
+            ):
+                continue
+            if isinstance(node, ast.Expr):
+                found.append((node, None))
+                continue
+            names: Set[str] = set()
+            opaque = False
+            for target in node.targets:
+                elements = (
+                    target.elts
+                    if isinstance(target, (ast.Tuple, ast.List))
+                    else [target]
+                )
+                for element in elements:
+                    if isinstance(element, ast.Name):
+                        names.add(element.id)
+                    else:
+                        opaque = True
+            if opaque:
+                continue  # stored into an attribute: tracked elsewhere
+            found.append((node, frozenset(names)))
+        return found
+
+
+# ======================================================================
+# time-taint
+# ======================================================================
+
+
+@register_project
+class TimeTaintRule(ProjectRule):
+    """Arithmetic-derived times flowing into equality or hashing."""
+
+    rule_id = "time-taint"
+    summary = (
+        "value derived by arithmetic from simulated time flows into "
+        "exact comparison or hashing: float arithmetic does not "
+        "round-trip, so the outcome depends on accumulated precision "
+        "rather than the schedule; compare stored schedule times, or "
+        "quantize deliberately and document the grid"
+    )
+    severity = "error"
+    version = 1
+    include = (
+        "repro/sim/",
+        "repro/core/",
+        "repro/cc/",
+        "repro/router/",
+    )
+    extra_hash_modules = ENGINE_MODULES
+
+    def check_project(self, model) -> List[Violation]:
+        project_taint = ProjectTaint(model, TimeTaint)
+        sink_param_memo: Dict[str, FrozenSet[str]] = {}
+        violations: List[Violation] = []
+        seen: Set[Tuple[str, int, int, str]] = set()
+
+        def emit(path: str, anchor: ast.AST, message: str) -> None:
+            key = (
+                path,
+                getattr(anchor, "lineno", 1),
+                getattr(anchor, "col_offset", 0) + 1,
+                message,
+            )
+            if key in seen:
+                return
+            seen.add(key)
+            violations.append(self.violation(path, anchor, message))
+
+        for fn in sorted(
+            model.functions.values(), key=lambda f: f.qualname
+        ):
+            if not self.applies_to(fn.path):
+                continue
+            flow = project_taint.flow_for(fn.node)
+            taint = project_taint.taint_for(fn)
+            for index in range(len(flow.cfg)):
+                for root in flow.cfg.expressions(index):
+                    for kind, operand, anchor in iter_hash_sinks(
+                        root
+                    ):
+                        if kind == SINK_EQUALITY and is_timeish(
+                            operand
+                        ):
+                            # Syntactically timeish operands belong
+                            # to float-time-equality.
+                            continue
+                        if taint.tainted(operand, index):
+                            emit(
+                                fn.path,
+                                anchor,
+                                f"time-derived value used as "
+                                f"{kind} in {fn.qualname}; "
+                                + self.summary,
+                            )
+                    self._check_call_args(
+                        model,
+                        project_taint,
+                        sink_param_memo,
+                        fn,
+                        taint,
+                        root,
+                        index,
+                        emit,
+                    )
+        return violations
+
+    # -- depth-1 argument propagation ----------------------------------
+
+    def _check_call_args(
+        self,
+        model,
+        project_taint: ProjectTaint,
+        memo: Dict[str, FrozenSet[str]],
+        fn,
+        taint: TimeTaint,
+        root: ast.AST,
+        index: int,
+        emit,
+    ) -> None:
+        for call in ast.walk(root):
+            if not isinstance(call, ast.Call):
+                continue
+            target = model.resolve_call(fn, call)
+            if target is None:
+                continue
+            sink_params = self._sink_params(
+                project_taint, memo, target
+            )
+            if not sink_params:
+                continue
+            params, _required, _vararg = target.positional_params()
+            names = [param.arg for param in params]
+            for position, arg in enumerate(call.args):
+                if isinstance(arg, ast.Starred):
+                    break
+                if (
+                    position < len(names)
+                    and names[position] in sink_params
+                    and taint.tainted(arg, index)
+                ):
+                    emit(
+                        fn.path,
+                        call,
+                        f"time-derived argument "
+                        f"{names[position]!r} reaches an exact "
+                        f"comparison/hash inside "
+                        f"{target.qualname}; " + self.summary,
+                    )
+            for keyword in call.keywords:
+                if (
+                    keyword.arg in sink_params
+                    and taint.tainted(keyword.value, index)
+                ):
+                    emit(
+                        fn.path,
+                        call,
+                        f"time-derived argument {keyword.arg!r} "
+                        f"reaches an exact comparison/hash inside "
+                        f"{target.qualname}; " + self.summary,
+                    )
+
+    def _sink_params(
+        self,
+        project_taint: ProjectTaint,
+        memo: Dict[str, FrozenSet[str]],
+        fn,
+    ) -> FrozenSet[str]:
+        """Parameters of ``fn`` that flow into a hash/equality sink
+        *within fn itself* (depth-1: no further call chaining)."""
+        cached = memo.get(fn.qualname)
+        if cached is not None:
+            return cached
+        flow = project_taint.flow_for(fn.node)
+        params, _required, _vararg = fn.positional_params()
+        names = [param.arg for param in params] + [
+            arg.arg for arg in fn.node.args.kwonlyargs
+        ]
+        sinks: Set[str] = set()
+        for name in names:
+            taint = TimeTaint(
+                flow, tainted_params=frozenset((name,))
+            )
+            if self._any_sink_tainted(flow, taint):
+                sinks.add(name)
+        result = frozenset(sinks)
+        memo[fn.qualname] = result
+        return result
+
+    @staticmethod
+    def _any_sink_tainted(
+        flow: FunctionFlow, taint: TimeTaint
+    ) -> bool:
+        for index in range(len(flow.cfg)):
+            for root in flow.cfg.expressions(index):
+                for _kind, operand, _anchor in iter_hash_sinks(root):
+                    if taint.tainted(operand, index):
+                        return True
+        return False
+
+
+# ======================================================================
+# draw-escape
+# ======================================================================
+
+
+@register_project
+class DrawEscapeRule(ProjectRule):
+    """RNG draws crossing message boundaries or hash-ordered storage."""
+
+    rule_id = "draw-escape"
+    summary = (
+        "RNG draw result escapes its drawing context: posted across "
+        "the simulated network it is consumed in delivery order, and "
+        "stored in a set it is consumed in hash order — either way "
+        "the draw sequence decouples from the stream discipline that "
+        "common-random-numbers comparisons rely on; consume draws "
+        "where they are made, or store them in an explicitly ordered "
+        "structure"
+    )
+    severity = "error"
+    version = 1
+    include = ("repro/",)
+    extra_hash_modules = ENGINE_MODULES
+
+    def check_project(self, model) -> List[Violation]:
+        project_taint = ProjectTaint(model, DrawTaint)
+        violations: List[Violation] = []
+        seen: Set[Tuple[str, int, int]] = set()
+        for fn in sorted(
+            model.functions.values(), key=lambda f: f.qualname
+        ):
+            if not self.applies_to(fn.path):
+                continue
+            flow = project_taint.flow_for(fn.node)
+            taint = project_taint.taint_for(fn)
+            for index in range(len(flow.cfg)):
+                for root in flow.cfg.expressions(index):
+                    for call, sink_args, what in self._sinks(root):
+                        for arg in sink_args:
+                            if not taint.tainted(arg, index):
+                                continue
+                            key = (
+                                fn.path,
+                                call.lineno,
+                                call.col_offset + 1,
+                            )
+                            if key in seen:
+                                break
+                            seen.add(key)
+                            violations.append(
+                                self.violation(
+                                    fn.path,
+                                    call,
+                                    f"RNG draw result {what} in "
+                                    f"{fn.qualname}; " + self.summary,
+                                )
+                            )
+                            break
+        return violations
+
+    @staticmethod
+    def _sinks(root: ast.AST):
+        """(call, candidate argument expressions, description)."""
+        for node in ast.walk(root):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+            ):
+                continue
+            attr = node.func.attr
+            receiver = node.func.value
+            if attr == "post" and _is_network_ref(receiver):
+                arguments = list(node.args) + [
+                    keyword.value for keyword in node.keywords
+                ]
+                yield node, arguments, (
+                    "crosses a message boundary (network post)"
+                )
+            elif attr == "add" and node.args:
+                yield node, [node.args[0]], (
+                    "is stored into a hash-ordered set"
+                )
+
+
+# Registers the race-reconciliation project rule.
+import repro.lint.flow.reconcile  # noqa: E402,F401  (registers on import)

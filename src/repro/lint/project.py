@@ -12,8 +12,10 @@ files, so this module parses the whole linted tree once into a
   conservative base-class resolution), and
 * a **conservative call graph** (edges only where the callee resolves
   unambiguously: bare names through imports, ``self.method`` through
-  the class chain, ``ClassName.method`` — never attribute calls on
-  unknown receivers).
+  the class chain, ``ClassName.method``, and ``self.attr.method``
+  where ``self.attr`` was assigned from exactly one constructor
+  spelling along the chain — never attribute calls on receivers whose
+  type the model cannot pin down).
 
 :class:`~repro.lint.registry.ProjectRule` subclasses registered here
 run after every file rule and see the full model.  Nothing in the
@@ -142,6 +144,9 @@ class ClassInfo:
     methods: Dict[str, FunctionInfo]
     abstract_methods: FrozenSet[str]
     instance_attrs: FrozenSet[str]
+    #: attr -> constructor spelling for ``self.attr = Spelling(...)``
+    #: assignments; "" when two methods disagree on the spelling.
+    attr_types: Dict[str, str] = field(default_factory=dict)
 
 
 @dataclass
@@ -300,6 +305,7 @@ class ProjectModel:
         methods: Dict[str, FunctionInfo] = {}
         abstract = set()
         instance_attrs = set()
+        attr_types: Dict[str, str] = {}
         for item in node.body:
             if isinstance(
                 item, (ast.FunctionDef, ast.AsyncFunctionDef)
@@ -330,6 +336,22 @@ class ProjectModel:
                                 and target.value.id == "self"
                             ):
                                 instance_attrs.add(target.attr)
+                                spelled = (
+                                    _dotted_name(sub.value.func)
+                                    if isinstance(
+                                        sub.value, ast.Call
+                                    )
+                                    else None
+                                ) or ""
+                                previous = attr_types.get(
+                                    target.attr
+                                )
+                                if previous is None:
+                                    attr_types[target.attr] = spelled
+                                elif previous != spelled:
+                                    # Re-assigned with a different
+                                    # spelling: type unknown.
+                                    attr_types[target.attr] = ""
                     elif isinstance(sub, ast.AnnAssign):
                         target = sub.target
                         if (
@@ -359,6 +381,7 @@ class ProjectModel:
             methods=methods,
             abstract_methods=frozenset(abstract),
             instance_attrs=frozenset(instance_attrs),
+            attr_types=attr_types,
         )
 
     # ------------------------------------------------------------------
@@ -432,6 +455,32 @@ class ProjectModel:
             attrs.update(ancestor.instance_attrs)
         return frozenset(attrs)
 
+    def attr_class(
+        self, cls: ClassInfo, attr: str
+    ) -> Optional[ClassInfo]:
+        """The class of ``self.attr`` when every assignment along the
+        chain agrees on one resolvable constructor spelling."""
+        spelled: Optional[str] = None
+        declared_in: Optional[ClassInfo] = None
+        for ancestor in self.mro_chain(cls):
+            candidate = ancestor.attr_types.get(attr)
+            if candidate is None:
+                continue
+            if not candidate:
+                return None  # some assignment had unknown type
+            if spelled is None:
+                spelled = candidate
+                declared_in = ancestor
+            elif spelled != candidate:
+                return None  # ancestors disagree
+        if spelled is None or declared_in is None:
+            return None
+        # Resolve the spelling in the module that wrote it.
+        module = self.modules.get(declared_in.module)
+        if module is None:
+            return None
+        return self.resolve_class(module, spelled)
+
     def transitive_subclasses(
         self, root: ClassInfo
     ) -> List[ClassInfo]:
@@ -475,6 +524,25 @@ class ProjectModel:
                 enclosing = module.classes.get(caller.class_name)
                 if enclosing is not None:
                     return self.resolve_method(enclosing, func.attr)
+                return None
+            if (
+                isinstance(receiver, ast.Attribute)
+                and isinstance(receiver.value, ast.Name)
+                and receiver.value.id == "self"
+                and caller.class_name is not None
+                and module is not None
+            ):
+                # self.attr.method() through the recorded constructor
+                # type of self.attr.
+                enclosing = module.classes.get(caller.class_name)
+                if enclosing is not None:
+                    target_cls = self.attr_class(
+                        enclosing, receiver.attr
+                    )
+                    if target_cls is not None:
+                        return self.resolve_method(
+                            target_cls, func.attr
+                        )
                 return None
             if isinstance(receiver, ast.Name) and module is not None:
                 target = self.resolve_class(module, receiver.id)

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import ast
 import hashlib
+import importlib
 import inspect
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Type
@@ -45,7 +46,8 @@ __all__ = [
 
 #: Bumped when the engine's rule semantics change globally (severity
 #: model, suppression format, ...); part of every cache key.
-RULESET_VERSION = 2
+#: v3: flow-sensitive rule layer (CFG/dataflow/taint) added.
+RULESET_VERSION = 3
 
 
 class _BaseRule:
@@ -63,6 +65,11 @@ class _BaseRule:
     include: Tuple[str, ...] = ()
     #: Path fragments the rule never runs on.
     exclude: Tuple[str, ...] = ()
+    #: Dotted names of engine modules this rule's verdicts also depend
+    #: on (the flow rules name the CFG/dataflow/taint modules here, so
+    #: editing the engine busts their cached results, not just edits
+    #: to the rule module itself).
+    extra_hash_modules: Tuple[str, ...] = ()
 
     def applies_to(self, path: str) -> bool:
         """Whether this rule runs on ``path`` (POSIX string)."""
@@ -74,12 +81,23 @@ class _BaseRule:
 
     @property
     def source_hash(self) -> str:
-        """Digest of the defining module, insensitive to formatting."""
+        """Digest of the defining module (plus any declared engine
+        modules), insensitive to formatting."""
         try:
             module_file = inspect.getfile(type(self))
         except (TypeError, OSError):  # pragma: no cover - builtins only
             return "unknown"
-        return module_source_hash(module_file)
+        digests = [module_source_hash(module_file)]
+        for dotted in self.extra_hash_modules:
+            module = importlib.import_module(dotted)
+            origin = getattr(module, "__file__", None)
+            digests.append(
+                module_source_hash(origin) if origin else dotted
+            )
+        if len(digests) == 1:
+            return digests[0]
+        combined = hashlib.sha256(":".join(digests).encode("utf-8"))
+        return combined.hexdigest()[:16]
 
     def violation(
         self,
@@ -171,6 +189,9 @@ def _ensure_loaded() -> None:
         import repro.lint.rules  # noqa: F401 - registers on import
     if not _PROJECT_REGISTRY:
         import repro.lint.project  # noqa: F401 - registers on import
+    # Flow rules register into both registries; re-import is a cached
+    # no-op after the first call.
+    import repro.lint.flow.rules  # noqa: F401 - registers on import
 
 
 def all_rules() -> List[Rule]:

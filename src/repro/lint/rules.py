@@ -602,35 +602,99 @@ def _is_timeish(node: ast.AST) -> bool:
     return False
 
 
+def _flow_scopes(tree: ast.AST) -> List[ast.AST]:
+    """Module plus every nested function/class body (each a CFG scope)."""
+    scopes: List[ast.AST] = [tree]
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            scopes.append(node)
+    return scopes
+
+
 @register
 class FloatTimeEqualityRule(Rule):
-    """Exact float comparison on simulated-time expressions."""
+    """Exact float comparison on simulated-time expressions.
+
+    v2 is flow-sensitive: a comparison whose operands are *provably*
+    pure copies of stored schedule times — timeish loads, or locals
+    every one of whose reaching definitions is a clean copy chain
+    (:class:`repro.lint.flow.taint.CleanTime`) — is discharged, because
+    exact equality of copies of one scheduled value is sound.  Any
+    operand the dataflow cannot prove clean (parameters, arithmetic,
+    opaque bindings) still flags, exactly as v1 did syntactically.
+    """
 
     rule_id = "float-time-equality"
     summary = (
         "== / != on simulated time is exact float comparison; it is "
-        "only sound for copies of one scheduled value — restructure, "
-        "or suppress with a justification"
+        "only sound for copies of one scheduled value — the dataflow "
+        "could not prove both operands are pure copies, so "
+        "restructure, or suppress with a justification"
     )
-    version = 1
+    version = 2
     # Simulator sources only: tests legitimately assert exact clock
     # values the kernel guarantees.
     include = ("repro/sim/", "repro/core/", "repro/cc/")
+    extra_hash_modules = (
+        "repro.lint.flow.cfg",
+        "repro.lint.flow.dataflow",
+        "repro.lint.flow.taint",
+    )
 
     def check(self, tree, source, path):
+        candidates = [
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, ast.Compare)
+            and self._offending_pairs(node)
+        ]
+        if not candidates:
+            return []
+        from repro.lint.flow.dataflow import FunctionFlow
+        from repro.lint.flow.taint import CleanTime
+
         violations: List[Violation] = []
-        for node in ast.walk(tree):
-            if not isinstance(node, ast.Compare):
-                continue
-            operands = [node.left, *node.comparators]
-            for index, op in enumerate(node.ops):
-                if not isinstance(op, (ast.Eq, ast.NotEq)):
-                    continue
-                left, right = operands[index], operands[index + 1]
-                if _is_timeish(left) or _is_timeish(right):
-                    violations.append(self.violation(path, node))
-                    break
+        remaining = candidates
+        for scope in _flow_scopes(tree):
+            if not remaining:
+                break
+            flow = FunctionFlow(scope)
+            clean = CleanTime(flow)
+            unowned = []
+            for compare in remaining:
+                index = flow.owner_of(compare)
+                if index is None:
+                    unowned.append(compare)
+                elif not self._discharged(compare, clean, index):
+                    violations.append(self.violation(path, compare))
+            remaining = unowned
+        # Comparisons no scope's CFG owns (decorator/default oddities)
+        # flag syntactically, as v1 did.
+        violations.extend(
+            self.violation(path, compare) for compare in remaining
+        )
+        violations.sort(key=lambda v: (v.line, v.col))
         return violations
+
+    @staticmethod
+    def _offending_pairs(node: ast.Compare) -> List[tuple]:
+        operands = [node.left, *node.comparators]
+        pairs = []
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[index], operands[index + 1]
+            if _is_timeish(left) or _is_timeish(right):
+                pairs.append((left, right))
+        return pairs
+
+    def _discharged(self, compare, clean, index) -> bool:
+        return all(
+            clean.clean(left, index) and clean.clean(right, index)
+            for left, right in self._offending_pairs(compare)
+        )
 
 
 #: Environment factory/combinator methods whose results are waitables;

@@ -170,7 +170,7 @@ class ScheduledCallback:
         # Exact comparison is sound here: both sides are stored
         # schedule times (never arithmetic results), and the seq
         # tie-break below handles the equal case explicitly.
-        if self.time != other.time:  # simlint: ignore[float-time-equality]
+        if self.time != other.time:
             return self.time < other.time
         return self.seq < other.seq
 
@@ -925,7 +925,7 @@ class Environment:
                         # Exact: heap entry times are stored schedule
                         # values and ``now`` was copied from one, so
                         # equality means "same instant" by construction.
-                        if top.time == now and top.seq < handle.seq:  # simlint: ignore[float-time-equality]
+                        if top.time == now and top.seq < handle.seq:
                             handle = top
                             heappop(heap)
                         else:
@@ -950,7 +950,7 @@ class Environment:
                 # Exact: avoids a redundant attribute write when the
                 # clock has not moved; both values are stored schedule
                 # times, never arithmetic results.
-                if time != now:  # simlint: ignore[float-time-equality]
+                if time != now:
                     now = time
                     self.now = time
                 dispatched += 1
@@ -997,7 +997,7 @@ class Environment:
                     # equality means "same instant" by construction.
                     if (
                         top is not None
-                        and top.time == now  # simlint: ignore[float-time-equality]
+                        and top.time == now
                         and top.seq < handle.seq
                     ):
                         handle = top
@@ -1020,7 +1020,7 @@ class Environment:
                     continue
                 time = handle.time
                 # Exact: see the heap loop.
-                if time != now:  # simlint: ignore[float-time-equality]
+                if time != now:
                     now = time
                     self.now = time
                 dispatched += 1
@@ -1065,7 +1065,7 @@ class Environment:
                     # times, equality means "same instant".
                     if (
                         top is not None
-                        and top.time == now  # simlint: ignore[float-time-equality]
+                        and top.time == now
                         and top.seq < handle.seq
                     ):
                         handle = top
@@ -1096,7 +1096,7 @@ class Environment:
                     continue
                 time = handle.time
                 # Exact: see the clean loops.
-                if time != now:  # simlint: ignore[float-time-equality]
+                if time != now:
                     now = time
                     self.now = time
                     san.advance_time(time)
@@ -1146,7 +1146,7 @@ class Environment:
                         self.now = until
                         return
                     # Exact: stored schedule times (see clean loops).
-                    if top.time != self.now:  # simlint: ignore[float-time-equality]
+                    if top.time != self.now:
                         self.now = top.time
                 # Gather the whole batch due at the current instant.
                 batch = list(fast)
@@ -1157,7 +1157,7 @@ class Environment:
                         heap[0] if heap else None
                     )
                     # Exact: stored schedule times (see clean loops).
-                    if top is None or top.time != now:  # simlint: ignore[float-time-equality]
+                    if top is None or top.time != now:
                         break
                     batch.append(top)
                     if cal is not None:

@@ -1,0 +1,367 @@
+"""Differential tests for the flow engine (CFG / dataflow / taint).
+
+The CFG tests compare :meth:`CFG.edge_labels` against *hand-derived*
+edge sets for each control shape — branch, loop with break, try/finally
+(normal and exceptional edges), try/except, return-through-finally,
+generator — so a builder regression shows up as a set difference, not
+as a downstream rule misfire.
+"""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.lint.flow.cfg import build_cfg
+from repro.lint.flow.dataflow import (
+    ASSIGN,
+    FunctionFlow,
+    OPAQUE,
+    PARAM,
+)
+from repro.lint.flow.taint import CleanTime, TimeTaint
+
+
+def cfg_of(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return build_cfg(tree.body[0])
+
+
+def flow_of(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return FunctionFlow(tree.body[0])
+
+
+def node_by_label(cfg, label):
+    for index in range(len(cfg)):
+        if cfg.label(index) == label:
+            return index
+    raise AssertionError(f"no node labelled {label!r}")
+
+
+# ======================================================================
+# CFG differential tests
+# ======================================================================
+
+
+class TestCfgShapes:
+    def test_branch(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                return a
+            """
+        )
+        assert cfg.edge_labels(exceptional=False) == {
+            ("entry", "If@3"),
+            ("If@3", "Assign@4"),
+            ("If@3", "Assign@6"),
+            ("Assign@4", "Return@7"),
+            ("Assign@6", "Return@7"),
+            ("Return@7", "exit"),
+        }
+        assert cfg.edge_labels(exceptional=True) == set()
+
+    def test_loop_with_break(self):
+        cfg = cfg_of(
+            """
+            def f(xs):
+                total = 0
+                while xs:
+                    total = total + 1
+                    if total > 3:
+                        break
+                return total
+            """
+        )
+        assert cfg.edge_labels(exceptional=False) == {
+            ("entry", "Assign@3"),
+            ("Assign@3", "While@4"),
+            ("While@4", "Assign@5"),  # enter body
+            ("While@4", "Return@8"),  # condition false
+            ("Assign@5", "If@6"),
+            ("If@6", "Break@7"),
+            ("If@6", "While@4"),  # back edge (test false)
+            ("Break@7", "Return@8"),
+            ("Return@8", "exit"),
+        }
+        assert cfg.edge_labels(exceptional=True) == set()
+
+    def test_try_finally(self):
+        cfg = cfg_of(
+            """
+            def f(lock):
+                try:
+                    lock.acquire()
+                finally:
+                    lock.release()
+                return True
+            """
+        )
+        # Normal flow passes *through* the finally; the finally's
+        # completion also has an exceptional continuation straight to
+        # exit (entered with a pending exception).
+        assert cfg.edge_labels(exceptional=False) == {
+            ("entry", "Expr@4"),
+            ("Expr@4", "finally@3"),  # normal fall-through
+            ("finally@3", "Expr@6"),
+            ("Expr@6", "Return@7"),
+            ("Return@7", "exit"),
+        }
+        assert cfg.edge_labels(exceptional=True) == {
+            ("Expr@6", "exit"),
+        }
+
+    def test_try_except(self):
+        cfg = cfg_of(
+            """
+            def f(d):
+                try:
+                    v = d.load()
+                except KeyError:
+                    v = None
+                return v
+            """
+        )
+        assert cfg.edge_labels(exceptional=False) == {
+            ("entry", "Assign@4"),
+            ("except@5", "Assign@6"),
+            ("Assign@4", "Return@7"),
+            ("Assign@6", "Return@7"),
+            ("Return@7", "exit"),
+        }
+        assert cfg.edge_labels(exceptional=True) == {
+            ("Assign@4", "except@5"),
+        }
+
+    def test_return_routes_through_finally(self):
+        cfg = cfg_of(
+            """
+            def f(lock):
+                try:
+                    return lock.get()
+                finally:
+                    lock.release()
+            """
+        )
+        # The return's continuation is the finally; after the finally
+        # completes, control leaves the function (the edge is both the
+        # normal return continuation and the exceptional one, so it
+        # classifies as normal).
+        assert cfg.edge_labels(exceptional=False) == {
+            ("entry", "Return@4"),
+            ("Return@4", "finally@3"),
+            ("finally@3", "Expr@6"),
+            ("Expr@6", "exit"),
+        }
+        assert cfg.edge_labels(exceptional=True) == set()
+
+    def test_generator_body_is_linear(self):
+        cfg = cfg_of(
+            """
+            def f(env):
+                t = env.timeout(1.0)
+                got = yield t
+                return got
+            """
+        )
+        assert cfg.edge_labels(exceptional=False) == {
+            ("entry", "Assign@3"),
+            ("Assign@3", "Assign@4"),
+            ("Assign@4", "Return@5"),
+            ("Return@5", "exit"),
+        }
+        assert cfg.edge_labels(exceptional=True) == set()
+
+    def test_reaches_exit_avoiding_honours_edge_classes(self):
+        cfg = cfg_of(
+            """
+            def f(lock):
+                try:
+                    granted = lock.acquire()
+                    lock.audit(granted)
+                finally:
+                    lock.release()
+            """
+        )
+        acquire = node_by_label(cfg, "Assign@4")
+        audit = node_by_label(cfg, "Expr@5")
+        # Normal flow must pass the audit...
+        assert not cfg.reaches_exit_avoiding(
+            acquire, {audit}, include_exceptional=False
+        )
+        # ...but an exception between acquire and audit skips it.
+        assert cfg.reaches_exit_avoiding(
+            acquire, {audit}, include_exceptional=True
+        )
+
+
+# ======================================================================
+# Reaching definitions
+# ======================================================================
+
+
+class TestReachingDefs:
+    def test_branch_join_merges_both_definitions(self):
+        flow = flow_of(
+            """
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                return a
+            """
+        )
+        ret = node_by_label(flow.cfg, "Return@7")
+        defs = flow.rdefs.definitions_of("a", ret)
+        assert sorted(d.kind for d in defs) == [ASSIGN, ASSIGN]
+        assert sorted(d.value.value for d in defs) == [1, 2]
+
+    def test_loop_carried_definition_reaches_header(self):
+        flow = flow_of(
+            """
+            def f(xs):
+                total = 0
+                while xs:
+                    total = total + 1
+                return total
+            """
+        )
+        ret = node_by_label(flow.cfg, "Return@6")
+        defs = flow.rdefs.definitions_of("total", ret)
+        assert len(defs) == 2  # initialization + loop body
+
+    def test_parameters_define_at_entry(self):
+        flow = flow_of(
+            """
+            def f(x, *rest, key=None):
+                return x
+            """
+        )
+        ret = node_by_label(flow.cfg, "Return@3")
+        for var in ("x", "rest", "key"):
+            defs = flow.rdefs.definitions_of(var, ret)
+            assert [d.kind for d in defs] == [PARAM]
+
+    def test_global_names_are_opaque(self):
+        flow = flow_of(
+            """
+            def f():
+                global counter
+                counter = 1
+                return counter
+            """
+        )
+        ret = node_by_label(flow.cfg, "Return@5")
+        defs = flow.rdefs.definitions_of("counter", ret)
+        assert [d.kind for d in defs] == [OPAQUE]
+
+    def test_tuple_unpacking_is_opaque(self):
+        flow = flow_of(
+            """
+            def f(pair):
+                a, b = pair
+                return a
+            """
+        )
+        ret = node_by_label(flow.cfg, "Return@4")
+        defs = flow.rdefs.definitions_of("a", ret)
+        assert [d.kind for d in defs] == [OPAQUE]
+
+
+# ======================================================================
+# Taint lattices
+# ======================================================================
+
+
+def taint_at_return(source, taint_class):
+    flow = flow_of(source)
+    tree = flow.cfg
+    for index in range(len(tree)):
+        stmt = tree.stmts[index]
+        if isinstance(stmt, ast.Return):
+            return taint_class(flow), stmt.value, index
+    raise AssertionError("no return statement")
+
+
+class TestTimeTaint:
+    def test_arithmetic_on_time_taints(self):
+        taint, expr, node = taint_at_return(
+            """
+            def f(env, delay):
+                deadline = env.now + delay
+                return deadline
+            """,
+            TimeTaint,
+        )
+        assert taint.tainted(expr, node)
+
+    def test_pure_copy_is_untainted(self):
+        taint, expr, node = taint_at_return(
+            """
+            def f(handle):
+                snapshot = handle.time
+                return snapshot
+            """,
+            TimeTaint,
+        )
+        assert not taint.tainted(expr, node)
+
+    def test_store_kills_taint(self):
+        # Writing a derived time into an attribute and reading it back
+        # is a *stored schedule time* again (the kernel's handle.time).
+        taint, expr, node = taint_at_return(
+            """
+            def f(self, env, delay):
+                self.time = env.now + delay
+                return self.time
+            """,
+            TimeTaint,
+        )
+        assert not taint.tainted(expr, node)
+
+
+class TestCleanTime:
+    def test_copy_chain_is_clean(self):
+        flow = flow_of(
+            """
+            def f(self, top):
+                now = self.now
+                snapshot = now
+                return snapshot
+            """
+        )
+        clean = CleanTime(flow)
+        ret = node_by_label(flow.cfg, "Return@5")
+        stmt = flow.cfg.stmts[ret]
+        assert clean.clean(stmt.value, ret)
+
+    def test_arithmetic_is_not_clean(self):
+        flow = flow_of(
+            """
+            def f(self):
+                now = self.now + 1.0
+                return now
+            """
+        )
+        clean = CleanTime(flow)
+        ret = node_by_label(flow.cfg, "Return@4")
+        stmt = flow.cfg.stmts[ret]
+        assert not clean.clean(stmt.value, ret)
+
+    def test_parameters_are_not_clean(self):
+        flow = flow_of(
+            """
+            def f(now):
+                return now
+            """
+        )
+        clean = CleanTime(flow)
+        ret = node_by_label(flow.cfg, "Return@3")
+        stmt = flow.cfg.stmts[ret]
+        assert not clean.clean(stmt.value, ret)

@@ -30,16 +30,18 @@ def rule_hits(source, path, rule_id):
     ]
 
 
-def test_all_nine_rules_registered():
+def test_all_file_rules_registered():
     assert [rule.rule_id for rule in all_rules()] == [
         "fault-stream-misuse",
         "float-time-equality",
         "id-keyed-container",
+        "lock-path-discipline",
         "process-protocol",
         "resident-terminal-process",
         "unordered-dict-iteration",
         "unordered-set-iteration",
         "unseeded-global-random",
+        "waitable-escape",
         "wall-clock",
     ]
 
@@ -321,9 +323,16 @@ class TestFloatTimeEquality:
         [
             "if env.now == deadline:\n    fire()\n",
             "if deadline == env.now:\n    fire()\n",
-            "if self.time != other.time:\n    pass\n",
             "done = handle.time == now\n",
             "if now != horizon:\n    advance()\n",
+            # Defined, but by arithmetic: not a pure copy.
+            "now = self.now + 1.0\nif handle.time == now:\n    pass\n",
+            # Parameters are unprovable: callers may pass anything.
+            """
+            def fire_due(self, now):
+                if self.deadline.time == now:
+                    self.fire()
+            """,
         ],
     )
     def test_flags_in_sim_scope(self, snippet):
@@ -339,6 +348,26 @@ class TestFloatTimeEquality:
         ],
     )
     def test_does_not_flag(self, snippet):
+        assert not rule_hits(snippet, SIM_PATH, self.RULE)
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            # Two stored schedule times: exact equality is sound.
+            "if self.time != other.time:\n    pass\n",
+            # A local that is provably a pure copy of a stored time.
+            "now = handle.time\nif handle.time == now:\n    pass\n",
+            # The kernel dispatch-loop shape the v1 waivers covered.
+            """
+            def drain(self, top):
+                now = self.now
+                if top.time != now:
+                    return
+                self.fire(top)
+            """,
+        ],
+    )
+    def test_flow_discharges_pure_copies(self, snippet):
         assert not rule_hits(snippet, SIM_PATH, self.RULE)
 
     def test_tests_are_out_of_scope(self):

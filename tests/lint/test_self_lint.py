@@ -32,9 +32,9 @@ def test_known_suppressions_are_inventoried():
     assert waivers == (
         # Serialization-audit loops accumulate into sets (order-free).
         [("audit.py", "unordered-dict-iteration")] * 2
-        # The kernel's three run loops (clean, sanitized, perturbed)
-        # each compare scheduler timestamps exactly on purpose.
-        + [("kernel.py", "float-time-equality")] * 9
+        # The kernel's timestamp comparisons need no waivers anymore:
+        # float-time-equality v2 proves them pure copies of scheduled
+        # values and discharges them through the dataflow.
         # Lock-table iteration in grant order is documented semantics
         # (conflict sets and wait-for edges follow grant history).
         + [("locks.py", "unordered-dict-iteration")] * 3
